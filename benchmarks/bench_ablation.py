@@ -1,0 +1,13 @@
+"""E11 — ablation: faithful 'full' lowest level vs 'unit' graph edges."""
+
+from conftest import run_table_experiment
+
+from repro.analysis.experiments import run_e11
+
+
+def bench_e11_ablation_table(benchmark):
+    tables = run_table_experiment(benchmark, run_e11, quick=True)
+    rows = {row["mode"]: row for row in tables[0].rows}
+    assert rows["unit"]["max_bits"] < rows["full"]["max_bits"]
+    for row in rows.values():
+        assert row["violations"] == 0 and row["conn_mismatch"] == 0

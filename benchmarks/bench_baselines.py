@@ -1,0 +1,25 @@
+"""E12 — baseline cross-checks: exact tree labeling, failure-free scheme."""
+
+from conftest import run_table_experiment
+
+from repro.analysis.experiments import run_e12
+from repro.baselines import ExactRecomputeOracle, SingleFaultOracle
+from repro.graphs.generators import grid_graph
+
+
+def bench_e12_baselines_tables(benchmark):
+    tables = run_table_experiment(benchmark, run_e12, quick=True)
+    ff_rows = tables[1].rows
+    assert all(row["ok"] for row in ff_rows)
+
+
+def bench_exact_recompute_query(benchmark):
+    graph = grid_graph(10, 10)
+    oracle = ExactRecomputeOracle(graph)
+    benchmark(oracle.query, 0, 99, [44, 55])
+
+
+def bench_single_fault_oracle_query(benchmark):
+    graph = grid_graph(10, 10)
+    oracle = SingleFaultOracle(graph)
+    benchmark(oracle.query_vertex_fault, 0, 99, 44)

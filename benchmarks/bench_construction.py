@@ -1,0 +1,25 @@
+"""E7 — construction time vs n (Theorem 2.1: polynomial preprocessing)."""
+
+from conftest import run_table_experiment
+
+from repro.analysis.experiments import run_e7
+from repro.graphs.generators import grid_graph
+from repro.labeling import ForbiddenSetLabeling
+from repro.nets import NetHierarchy
+
+
+def bench_e7_construction_table(benchmark):
+    tables = run_table_experiment(benchmark, run_e7, quick=True)
+    assert all(row["global_s"] < 60 for row in tables[0].rows)
+
+
+def bench_net_hierarchy_build(benchmark):
+    graph = grid_graph(16, 16)
+    hierarchy = benchmark(NetHierarchy, graph)
+    assert hierarchy.net(0) == set(range(256))
+
+
+def bench_global_structures_build(benchmark):
+    graph = grid_graph(12, 12)
+    scheme = benchmark(ForbiddenSetLabeling, graph, 1.0)
+    assert scheme.params.c == 3

@@ -1,0 +1,19 @@
+"""E4 — per-level label content vs doubling dimension α (Lemma 2.2/2.5).
+
+The table reports ``|B(v, r_i) ∩ N_{i-c-1}|`` per level on α ∈ {1,2,3}
+families; the count must blow up with α on uncapped (interior) levels.
+"""
+
+from conftest import run_table_experiment
+
+from repro.analysis.experiments import run_e4
+
+
+def bench_e4_label_vs_alpha_table(benchmark):
+    tables = run_table_experiment(benchmark, run_e4, quick=True)
+    rows = tables[0].rows
+    level4 = {r["family"]: r["net_points"] for r in rows if r["level"] == 4}
+    path_count = next(v for k, v in level4.items() if "path" in k)
+    grid2d_count = next(v for k, v in level4.items() if "grid2d" in k)
+    # alpha = 2 stores orders of magnitude more net points per level
+    assert grid2d_count > 10 * path_count

@@ -1,0 +1,15 @@
+"""E3 — encoded label length vs ε (Lemma 2.5: (1+1/ε)^{2α} factor)."""
+
+from conftest import run_table_experiment
+
+from repro.analysis.experiments import run_e3
+
+
+def bench_e3_label_vs_eps_table(benchmark):
+    tables = run_table_experiment(benchmark, run_e3, quick=True)
+    rows = tables[0].rows
+    # shrinking eps (increasing c) must not shrink labels
+    by_c = sorted(rows, key=lambda r: r["c(eps)"])
+    for a, b in zip(by_c, by_c[1:]):
+        if b["c(eps)"] > a["c(eps)"]:
+            assert b["max_bits"] > a["max_bits"], (a, b)

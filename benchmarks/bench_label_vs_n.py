@@ -1,0 +1,31 @@
+"""E2 — encoded label length vs n (Lemma 2.5: O(log² n) for fixed ε, α).
+
+Regenerates the E2 table and micro-benchmarks one label build + encode.
+"""
+
+from conftest import run_table_experiment
+
+from repro.analysis.experiments import run_e2
+from repro.graphs.generators import path_graph
+from repro.labeling import ForbiddenSetLabeling, encode_label
+
+
+def bench_e2_label_vs_n_table(benchmark):
+    tables = run_table_experiment(benchmark, run_e2, quick=True)
+    rows = [r for r in tables[0].rows if r["family"] == "path"]
+    # label bits must grow sub-linearly in n: doubling n must not double bits
+    # once past the smallest sizes
+    last_two = rows[-2:]
+    assert last_two[1]["max_bits"] < 2 * last_two[0]["max_bits"]
+
+
+def bench_label_build_and_encode(benchmark):
+    graph = path_graph(512)
+    scheme = ForbiddenSetLabeling(graph, epsilon=1.0)
+
+    def build():
+        label = scheme._builder.build_label(256)  # bypass the cache
+        return encode_label(label)
+
+    data = benchmark(build)
+    assert len(data) > 0

@@ -1,0 +1,17 @@
+"""E13 — realized stretch on large-diameter cylinders.
+
+Small-diameter instances are answered exactly (the lowest-level unit
+edge balls blanket them); this benchmark exercises the regime where the
+hierarchy actually pays its ``1+ε`` price.
+"""
+
+from conftest import run_table_experiment
+
+from repro.analysis.experiments import run_e13
+
+
+def bench_e13_large_diameter_table(benchmark):
+    tables = run_table_experiment(benchmark, run_e13, quick=True)
+    for row in tables[0].rows:
+        assert row["violations"] == 0, row
+        assert row["max_stretch"] <= row["bound"] + 1e-9, row

@@ -1,0 +1,34 @@
+"""E9 — the Theorem 3.1 lower bound: counting + reconstruction attack."""
+
+from conftest import run_table_experiment
+
+from repro.analysis.experiments import run_e9
+from repro.connectivity import (
+    ForbiddenSetConnectivityLabeling,
+    reconstruct_graph_from_oracle,
+)
+from repro.graphs.generators import sample_family_graph
+
+
+def bench_e9_lower_bound_tables(benchmark):
+    tables = run_table_experiment(benchmark, run_e9, quick=True)
+    counting, upper = tables
+    # the counting bound grows with alpha at comparable n
+    by_alpha = sorted(counting.rows, key=lambda r: (r["n"], r["alpha"]))
+    assert all(row["ok"] for row in upper.rows)
+
+
+def bench_reconstruction_attack(benchmark):
+    graph = sample_family_graph(3, 2, seed=0)
+    scheme = ForbiddenSetConnectivityLabeling(graph)
+
+    def oracle(i, j, forbidden):
+        return scheme.connected(i, j, vertex_faults=forbidden)
+
+    rebuilt = benchmark.pedantic(
+        reconstruct_graph_from_oracle,
+        args=(oracle, graph.num_vertices),
+        rounds=1,
+        iterations=1,
+    )
+    assert sorted(rebuilt.edges()) == sorted(graph.edges())

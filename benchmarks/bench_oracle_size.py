@@ -1,0 +1,29 @@
+"""E10 — oracle size independent of the fault budget (intro byproduct)."""
+
+from conftest import run_table_experiment
+
+from repro.analysis.experiments import run_e10
+from repro.graphs.generators import grid_graph
+from repro.oracle import ForbiddenSetDistanceOracle
+
+
+def bench_e10_oracle_size_tables(benchmark):
+    tables = run_table_experiment(benchmark, run_e10, quick=True)
+    invariance = tables[1]
+    sizes = {row["size_bits"] for row in invariance.rows}
+    assert len(sizes) == 1  # storage untouched by growing |F|
+
+
+def bench_oracle_build(benchmark):
+    graph = grid_graph(7, 7)
+    oracle = benchmark.pedantic(
+        ForbiddenSetDistanceOracle, args=(graph, 1.0), rounds=1, iterations=1
+    )
+    assert oracle.size_bits() > 0
+
+
+def bench_oracle_query(benchmark):
+    graph = grid_graph(7, 7)
+    oracle = ForbiddenSetDistanceOracle(graph, epsilon=1.0)
+    result = benchmark(oracle.query, 0, 48, [24])
+    assert result.distance >= 12

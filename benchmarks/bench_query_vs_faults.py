@@ -1,0 +1,23 @@
+"""E5 — query cost vs |F| (Lemma 2.6: O((1+1/ε)^{2α}·|F|²·log n))."""
+
+from conftest import run_table_experiment
+
+from repro.analysis.experiments import run_e5
+from repro.graphs.generators import grid_graph
+from repro.labeling import ForbiddenSetLabeling
+from repro.labeling.decoder import decode_distance
+
+
+def bench_e5_query_vs_faults_table(benchmark):
+    tables = run_table_experiment(benchmark, run_e5, quick=True)
+    rows = tables[0].rows
+    # more faults must not make queries cheaper by an order of magnitude
+    assert rows[-1]["ms/query"] >= rows[0]["ms/query"] * 0.5
+
+
+def bench_decode_eight_faults(benchmark):
+    graph = grid_graph(10, 10)
+    scheme = ForbiddenSetLabeling(graph, epsilon=1.0)
+    label_s, label_t = scheme.label(0), scheme.label(99)
+    faults = scheme.fault_set(vertex_faults=[44, 45, 54, 55, 11, 88, 22, 77])
+    benchmark(decode_distance, label_s, label_t, faults)

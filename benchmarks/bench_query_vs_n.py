@@ -1,0 +1,14 @@
+"""E6 — query cost vs n at fixed |F| (polylog sketch size)."""
+
+from conftest import run_table_experiment
+
+from repro.analysis.experiments import run_e6
+
+
+def bench_e6_query_vs_n_table(benchmark):
+    tables = run_table_experiment(benchmark, run_e6, quick=True)
+    rows = tables[0].rows
+    # the sketch never materializes the whole graph's edge set: it stays
+    # far below n^2 and is dominated by (labels x per-level content)
+    for row in rows:
+        assert row["sketch_edges"] < row["n"] ** 2 / 4

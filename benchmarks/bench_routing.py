@@ -1,0 +1,26 @@
+"""E8 — routing stretch (Theorem 2.7)."""
+
+from conftest import run_table_experiment
+
+from repro.analysis.experiments import run_e8
+from repro.graphs.generators import grid_graph
+from repro.routing import ForbiddenSetRouting
+
+
+def bench_e8_routing_table(benchmark):
+    tables = run_table_experiment(benchmark, run_e8, quick=True)
+    for row in tables[0].rows:
+        assert row["undeliverable"] == 0, row
+        assert row["max_stretch"] <= 1 + row["eps"] + 1e-9, row
+
+
+def bench_route_with_faults(benchmark):
+    graph = grid_graph(8, 8)
+    router = ForbiddenSetRouting(graph, epsilon=1.0)
+    router.route(0, 63, vertex_faults=[27, 28])  # warm the tables
+
+    def run():
+        return router.route(0, 63, vertex_faults=[27, 28])
+
+    result = benchmark(run)
+    assert result.route[-1] == 63

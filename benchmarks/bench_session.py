@@ -1,0 +1,43 @@
+"""Fault-scoped session vs one-shot decoder: per-query amortization.
+
+The paper's router answers a stream of queries against its current
+forbidden set; :class:`FaultScopedSession` precomputes the F-dependent
+work.  These benchmarks quantify the saving.
+"""
+
+from repro.graphs.generators import grid_graph
+from repro.labeling import ForbiddenSetLabeling, decode_distance
+from repro.labeling.session import FaultScopedSession
+
+
+def _setup():
+    graph = grid_graph(9, 9)
+    scheme = ForbiddenSetLabeling(graph, epsilon=1.0)
+    faults = scheme.fault_set(vertex_faults=[40, 41, 31, 49, 22, 58])
+    pairs = [(0, 80), (8, 72), (4, 76), (36, 44), (0, 44)]
+    labels = {v: scheme.label(v) for pair in pairs for v in pair}
+    return faults, pairs, labels
+
+
+def bench_one_shot_decoder_stream(benchmark):
+    faults, pairs, labels = _setup()
+
+    def run():
+        return [
+            decode_distance(labels[s], labels[t], faults).distance
+            for s, t in pairs
+        ]
+
+    results = benchmark(run)
+    assert all(r >= 1 for r in results)
+
+
+def bench_session_stream(benchmark):
+    faults, pairs, labels = _setup()
+    session = FaultScopedSession(faults)
+
+    def run():
+        return [session.query(labels[s], labels[t]).distance for s, t in pairs]
+
+    results = benchmark(run)
+    assert all(r >= 1 for r in results)

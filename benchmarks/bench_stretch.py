@@ -1,0 +1,29 @@
+"""E1 — stretch of forbidden-set distance queries (Theorem 2.1, Lemma 2.4).
+
+Regenerates the E1 table and micro-benchmarks a single forbidden-set
+query on a mid-size grid.
+"""
+
+from conftest import run_table_experiment
+
+from repro.analysis.experiments import run_e1
+from repro.graphs.generators import grid_graph
+from repro.labeling import ForbiddenSetLabeling
+from repro.labeling.decoder import decode_distance
+
+
+def bench_e1_stretch_table(benchmark):
+    tables = run_table_experiment(benchmark, run_e1, quick=True)
+    for row in tables[0].rows:
+        assert row["violations"] == 0, row
+        assert row["conn_mismatch"] == 0, row
+        assert row["max_stretch"] <= row["bound"] + 1e-9, row
+
+
+def bench_single_query_with_faults(benchmark):
+    graph = grid_graph(9, 9)
+    scheme = ForbiddenSetLabeling(graph, epsilon=1.0)
+    label_s, label_t = scheme.label(0), scheme.label(80)
+    faults = scheme.fault_set(vertex_faults=[40, 41, 31])
+    result = benchmark(decode_distance, label_s, label_t, faults)
+    assert result.distance >= 16

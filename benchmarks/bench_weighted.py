@@ -1,0 +1,29 @@
+"""E14 — the weighted-graph extension: stretch under faults."""
+
+from conftest import run_table_experiment
+
+from repro.analysis.experiments import run_e14
+from repro.graphs.generators import grid_graph
+from repro.graphs.weighted import WeightedGraph
+from repro.labeling.weighted import WeightedForbiddenSetLabeling
+
+
+def bench_e14_weighted_table(benchmark):
+    tables = run_table_experiment(benchmark, run_e14, quick=True)
+    for row in tables[0].rows:
+        assert row["violations"] == 0, row
+        assert row["conn_mismatch"] == 0, row
+
+
+def bench_weighted_query(benchmark):
+    import random
+
+    base = grid_graph(7, 7)
+    rng = random.Random(0)
+    graph = WeightedGraph(base.num_vertices)
+    for u, v in base.edges():
+        graph.add_edge(u, v, rng.randint(1, 4))
+    scheme = WeightedForbiddenSetLabeling(graph, epsilon=1.0)
+    scheme.query(0, 48, vertex_faults=[24])  # warm label cache
+    result = benchmark(scheme.query, 0, 48, [24])
+    assert result.distance >= 1

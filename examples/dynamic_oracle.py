@@ -1,0 +1,57 @@
+"""Fully dynamic distance oracle from forbidden-set labels.
+
+The paper notes that combining its labels with the reduction of
+Abraham-Chechik-Gavoille (STOC 2012) yields a fully dynamic (1+eps)
+distance oracle.  This demo drives :class:`DynamicDistanceOracle`
+through a burst of deletions: updates are buffered as a forbidden set,
+queries decode against it, and when the buffer exceeds sqrt(n) the
+labels are rebuilt on the survivor graph.
+
+Run:  python examples/dynamic_oracle.py
+"""
+
+import math
+
+from repro import DynamicDistanceOracle
+from repro.baselines import ExactRecomputeOracle
+from repro.graphs.generators import road_like_graph
+
+
+def main() -> None:
+    graph = road_like_graph(9, 9, removal_fraction=0.08, seed=5)
+    n = graph.num_vertices
+    # default threshold is sqrt(n); use a smaller one so the demo shows a
+    # rebuild happening
+    oracle = DynamicDistanceOracle(graph, epsilon=1.0, rebuild_threshold=4)
+    print(f"host graph: {n} vertices, {graph.num_edges} edges; "
+          f"rebuild threshold = 4 buffered updates\n")
+
+    s, t = 0, n - 1
+    to_delete = [40, 41, 31, 49, 22, 58, 13]
+    deleted = []
+    for v in to_delete:
+        if v in (s, t):
+            continue
+        oracle.delete_vertex(v)
+        deleted.append(v)
+        truth = ExactRecomputeOracle(graph).query(s, t, vertex_faults=deleted)
+        estimate = oracle.query(s, t)
+        state = (f"d = {estimate}" if not math.isinf(estimate) else "disconnected")
+        print(f"delete {v:3d}: buffered={oracle.pending_fault_count()} "
+              f"rebuilds={oracle.rebuilds}  query({s},{t}) -> {state} "
+              f"(true {truth})")
+
+    print("\n-- restore two vertices --")
+    for v in deleted[:2]:
+        oracle.restore_vertex(v)
+    deleted = deleted[2:]
+    truth = ExactRecomputeOracle(graph).query(s, t, vertex_faults=deleted)
+    print(f"after restores: query({s},{t}) -> {oracle.query(s, t)} (true {truth}); "
+          f"rebuilds={oracle.rebuilds}")
+
+    print("\nupdates were O(1) bookkeeping except for the threshold rebuilds —")
+    print("the forbidden-set decoder absorbed every intermediate state.")
+
+
+if __name__ == "__main__":
+    main()

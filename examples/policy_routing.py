@@ -1,0 +1,75 @@
+"""Policy routing: each tenant enforces its own private forbidden set.
+
+From the paper's applications: "Another important scenario is when a
+router decides to change its own routing policy.  For example, for
+economic or security reasons, a part of the network may become
+forbidden.  The local forbidden-set of the router can be accordingly
+modified, and it can update its route immediately without having to
+invoke a global route maintenance mechanism."
+
+Here three tenants share one physical network; each has a different
+compliance policy (region it must avoid), managed by
+:class:`repro.routing.PolicyRouter` — the same labels serve all of them,
+policies compose, and an outage policy stacks on top at query time.
+
+Run:  python examples/policy_routing.py
+"""
+
+from repro.baselines import ExactRecomputeOracle
+from repro.graphs.generators import grid_graph, grid_index
+from repro.routing import PolicyRouter
+
+
+def region(x0, y0, x1, y1, dims=(10, 10)):
+    """Vertex ids of a rectangular region of the 10x10 mesh."""
+    return [
+        grid_index((x, y), dims)
+        for x in range(x0, x1 + 1)
+        for y in range(y0, y1 + 1)
+    ]
+
+
+def main() -> None:
+    graph = grid_graph(10, 10)
+    router = PolicyRouter(graph, epsilon=1.0)
+    exact = ExactRecomputeOracle(graph)
+
+    router.define_policy("avoid-ne-zone", vertices=region(6, 6, 9, 9))
+    router.define_policy("avoid-corridor", vertices=region(4, 0, 5, 7))
+    router.define_policy("outage", vertices=[])  # updated live below
+
+    s, t = grid_index((0, 9), (10, 10)), grid_index((9, 0), (10, 10))
+    tenants = {
+        "tenant-A": [],
+        "tenant-B": ["avoid-ne-zone"],
+        "tenant-C": ["avoid-corridor"],
+    }
+
+    print(f"routing {s} -> {t} for three tenants (same labels, different "
+          "policies)\n")
+    for tenant, policies in tenants.items():
+        estimate = router.distance(s, t, policies=policies)
+        vertices, edges = router.combined_faults(policies)
+        truth = exact.query(s, t, vertex_faults=vertices, edge_faults=edges)
+        result = router.route(s, t, policies=policies)
+        assert not set(result.route) & set(vertices)
+        print(f"{tenant} (policies: {policies or 'none'})")
+        print(f"  estimated {estimate.distance} (true {truth}); delivered in "
+              f"{result.hops} hops\n")
+
+    print("-- an outage occurs; every tenant stacks it on top --")
+    router.define_policy("outage", vertices=region(2, 4, 3, 5))
+    for tenant, policies in tenants.items():
+        stacked = policies + ["outage"]
+        result = router.route(s, t, policies=stacked)
+        vertices, _ = router.combined_faults(stacked)
+        assert not set(result.route) & set(vertices)
+        print(f"{tenant}: {result.hops} hops avoiding "
+              f"{len(vertices)} forbidden routers")
+
+    print("\none preprocessing pass served every tenant and the outage —")
+    print("policies are just forbidden sets supplied at query time.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+"""Routing failover: reroute packets around failed routers without
+recomputing routing tables.
+
+The paper's motivating scenario: "after a failure of some collection of
+routers or links, network traffic must be quickly rerouted without loss
+and without having to wait for the recomputation of the routing tables."
+
+This demo forwards packets hop by hop through a network, injects router
+failures on the active path, and shows the forwarding plane immediately
+finding a short detour using only labels + per-router port tables.
+
+Run:  python examples/routing_failover.py
+"""
+
+from repro.baselines import ExactRecomputeOracle
+from repro.graphs.generators import grid_graph
+from repro.routing import ForbiddenSetRouting
+
+
+def show_route(tag, result, truth):
+    stretch = result.hops / truth if truth else 1.0
+    print(f"  {tag}: {result.hops} hops (optimal {truth}, stretch {stretch:.3f})")
+    print(f"    route: {' -> '.join(map(str, result.route))}")
+
+
+def main() -> None:
+    graph = grid_graph(9, 9)  # a 9x9 mesh of routers
+    router = ForbiddenSetRouting(graph, epsilon=1.0)
+    exact = ExactRecomputeOracle(graph)
+    s, t = 0, 80  # opposite corners
+
+    print("mesh network: 81 routers; routing from", s, "to", t)
+
+    print("\n-- healthy network --")
+    healthy = router.route(s, t)
+    show_route("healthy", healthy, exact.query(s, t))
+
+    # fail two routers in the middle of the realized route
+    interior = [v for v in healthy.route if v not in (s, t)]
+    failed = [interior[len(interior) // 2], interior[len(interior) // 2 + 1]]
+    print(f"\n-- routers {failed} fail --")
+    rerouted = router.route(s, t, vertex_faults=failed)
+    show_route("failover", rerouted, exact.query(s, t, vertex_faults=failed))
+    assert not set(rerouted.route) & set(failed)
+
+    # a link on the new route is administratively disabled as well
+    a, b = rerouted.route[3], rerouted.route[4]
+    print(f"\n-- link ({a}, {b}) is disabled too --")
+    final = router.route(s, t, vertex_faults=failed, edge_faults=[(a, b)])
+    show_route(
+        "failover2",
+        final,
+        exact.query(s, t, vertex_faults=failed, edge_faults=[(a, b)]),
+    )
+
+    table = router.table(s)
+    print(f"\nrouting state at router {s}: {table.size_entries()} port entries "
+          f"on top of its label")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools entry point.
+
+A ``setup.py`` is kept alongside ``pyproject.toml`` so editable installs
+work on environments without the ``wheel`` package (PEP 660 editable
+wheels need it; ``setup.py develop`` does not).
+"""
+
+from setuptools import setup
+
+setup()

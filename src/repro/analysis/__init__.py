@@ -1,0 +1,7 @@
+"""Experiment harness: stretch evaluation, label accounting, E-tables."""
+
+from repro.analysis.tables import Table
+from repro.analysis.stretch import StretchReport, evaluate_stretch
+from repro.analysis.labelstats import label_size_summary
+
+__all__ = ["StretchReport", "Table", "evaluate_stretch", "label_size_summary"]

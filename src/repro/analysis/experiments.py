@@ -1,0 +1,896 @@
+"""The experiment suite: one entry per claim of the paper (E1–E14).
+
+The paper is a theory paper with no empirical section, so — per
+DESIGN.md — the "tables and figures" being regenerated are empirical
+validations of its theorems.  Each ``run_eN`` function returns one or
+more :class:`~repro.analysis.tables.Table`; the ``quick`` flag selects
+the small instances used in CI/benchmarks versus the full instances
+recorded in ``EXPERIMENTS.md``.
+
+Run from the command line::
+
+    python -m repro.analysis.experiments --exp E1 [--full]
+    python -m repro.analysis.experiments --all [--full]
+"""
+
+from __future__ import annotations
+
+import argparse
+import math
+import time
+
+from repro.analysis.labelstats import label_size_summary
+from repro.analysis.stretch import evaluate_stretch
+from repro.analysis.tables import Table
+from repro.baselines.apsp import ApspOracle
+from repro.baselines.exact import ExactRecomputeOracle
+from repro.baselines.tree_labeling import TreeForbiddenSetLabeling
+from repro.connectivity.lower_bound import (
+    family_log2_size,
+    lower_bound_bits,
+    theoretical_lower_bound_bits,
+)
+from repro.connectivity.scheme import ForbiddenSetConnectivityLabeling
+from repro.exceptions import RoutingError
+from repro.graphs.doubling import doubling_dimension_estimate
+from repro.graphs.generators import (
+    balanced_tree,
+    cycle_graph,
+    grid_graph,
+    path_graph,
+    random_tree,
+    road_like_graph,
+    sample_family_graph,
+)
+from repro.labeling.encoding import encoded_bit_length
+from repro.labeling.failure_free import FailureFreeLabeling
+from repro.labeling.scheme import ForbiddenSetLabeling, LabelingOptions
+from repro.oracle.oracle import ForbiddenSetDistanceOracle
+from repro.routing.scheme import ForbiddenSetRouting
+from repro.workloads.queries import (
+    adversarial_queries,
+    clustered_fault_queries,
+    random_queries,
+)
+
+#: families used across experiments: name -> factory(size_hint)
+_FAMILIES = {
+    "path": lambda n: path_graph(n),
+    "cycle": lambda n: cycle_graph(n),
+    "grid": lambda n: grid_graph(int(math.isqrt(n)), int(math.isqrt(n))),
+    "tree": lambda n: random_tree(n, seed=0),
+    "road": lambda n: road_like_graph(
+        int(math.isqrt(n)), int(math.isqrt(n)), removal_fraction=0.1, seed=0
+    ),
+}
+
+
+# ---------------------------------------------------------------------------
+# E1 — stretch <= 1 + eps (Theorem 2.1 / Lemma 2.4)
+# ---------------------------------------------------------------------------
+
+def run_e1(quick: bool = True) -> list[Table]:
+    """Stretch validation across families, epsilons and workloads."""
+    size = 81 if quick else 196
+    epsilons = (1.0, 4.0) if quick else (0.5, 1.0, 2.0, 4.0)
+    queries_per = 25 if quick else 80
+    table = Table(
+        title="E1: stretch of forbidden-set distance queries "
+        "(claim: 1 <= stretch <= 1+eps, connectivity exact)",
+        columns=[
+            "family",
+            "n",
+            "eps",
+            "workload",
+            "queries",
+            "max_stretch",
+            "mean_stretch",
+            "bound",
+            "violations",
+            "conn_mismatch",
+        ],
+    )
+    for family, make in _FAMILIES.items():
+        graph = make(size)
+        for eps in epsilons:
+            scheme = ForbiddenSetLabeling(graph, epsilon=eps)
+            workloads = {
+                "random": random_queries(
+                    graph, queries_per, max_vertex_faults=4, max_edge_faults=2, seed=1
+                ),
+                "adversarial": adversarial_queries(
+                    graph, queries_per, faults_per_query=2, seed=2
+                ),
+                "clustered": clustered_fault_queries(
+                    graph, queries_per // 2, cluster_radius=1, seed=3
+                ),
+            }
+            for workload_name, queries in workloads.items():
+                if not queries:
+                    continue
+                report = evaluate_stretch(graph, scheme, queries)
+                table.add_row(
+                    family=family,
+                    n=graph.num_vertices,
+                    eps=eps,
+                    workload=workload_name,
+                    queries=report.num_queries,
+                    max_stretch=report.max_stretch,
+                    mean_stretch=report.mean_stretch,
+                    bound=scheme.stretch_bound(),
+                    violations=report.violations,
+                    conn_mismatch=report.connectivity_mismatches,
+                )
+    return [table]
+
+
+# ---------------------------------------------------------------------------
+# E2 — label length ~ log^2 n at fixed eps, alpha (Lemma 2.5)
+# ---------------------------------------------------------------------------
+
+def run_e2(quick: bool = True) -> list[Table]:
+    """Label bits versus n on alpha=1 families (paths / cycles)."""
+    sizes = (64, 128, 256, 512) if quick else (64, 128, 256, 512, 1024, 2048)
+    table = Table(
+        title="E2: encoded label length vs n (claim: O(log^2 n) growth for "
+        "fixed eps, alpha)",
+        columns=["family", "n", "max_bits", "mean_bits", "bits/log2^2(n)"],
+        notes="the last column flattening out is the log^2 n shape",
+    )
+    series: dict[str, list[tuple[int, int]]] = {}
+    for family in ("path", "cycle"):
+        series[family] = []
+        for n in sizes:
+            graph = _FAMILIES[family](n)
+            scheme = ForbiddenSetLabeling(graph, epsilon=1.0)
+            summary = label_size_summary(scheme, graph, sample=8, seed=0)
+            log2n = math.log2(n)
+            series[family].append((n, summary.max_bits))
+            table.add_row(
+                family=family,
+                n=n,
+                max_bits=summary.max_bits,
+                mean_bits=summary.mean_bits,
+                **{"bits/log2^2(n)": summary.max_bits / (log2n * log2n)},
+            )
+    # quantify the shape: fitted polylog exponent per family (claim: -> 2
+    # asymptotically; small-n rows are dominated by the constant-radius
+    # lowest level filling up, which inflates the fit)
+    from repro.analysis.fitting import fit_polylog
+
+    fits = []
+    for family, points in series.items():
+        _, exponent = fit_polylog([n for n, _ in points], [b for _, b in points])
+        fits.append(f"{family}: bits ~ (log2 n)^{exponent:.2f}")
+    table.notes += "; fitted exponents — " + ", ".join(fits)
+    return [table]
+
+
+# ---------------------------------------------------------------------------
+# E3 — label length vs eps (Lemma 2.5: (1+1/eps)^{2 alpha} factor)
+# ---------------------------------------------------------------------------
+
+def run_e3(quick: bool = True) -> list[Table]:
+    """Label bits versus eps at fixed graph."""
+    graph = path_graph(256) if quick else path_graph(1024)
+    epsilons = (4.0, 2.0, 1.0, 0.5) if quick else (4.0, 2.0, 1.0, 0.5, 0.25)
+    table = Table(
+        title="E3: encoded label length vs eps (claim: grows like "
+        "(1+1/eps)^{2 alpha} as eps shrinks)",
+        columns=["n", "eps", "c(eps)", "max_bits", "mean_bits"],
+        notes="each unit increase of c doubles the net density per level",
+    )
+    for eps in epsilons:
+        scheme = ForbiddenSetLabeling(graph, epsilon=eps)
+        summary = label_size_summary(scheme, graph, sample=6, seed=0)
+        table.add_row(
+            n=graph.num_vertices,
+            eps=eps,
+            **{"c(eps)": scheme.params.c},
+            max_bits=summary.max_bits,
+            mean_bits=summary.mean_bits,
+        )
+    return [table]
+
+
+# ---------------------------------------------------------------------------
+# E4 — label length vs doubling dimension alpha
+# ---------------------------------------------------------------------------
+
+def run_e4(quick: bool = True) -> list[Table]:
+    """Per-level label content versus doubling dimension.
+
+    End-to-end label bits cannot expose the ``2^{O(α)}`` factor at
+    laptop-feasible sizes — the paper's ball radii start at
+    ``r_{c+1} ≥ 48``, which exceeds the diameter of any small grid, so
+    every label ball covers the whole graph.  Instead this experiment
+    measures the quantity Lemma 2.5 actually bounds: the number of
+    net-points ``|B(v, r_i) ∩ N_{i-c-1}|`` stored per level — computable
+    at much larger ``n`` because it needs no label materialization.
+    """
+    if quick:
+        cases = [
+            ("path (a~1)", path_graph(400), 200),
+            ("grid2d (a~2)", grid_graph(128, 128), 128 * 64 + 64),
+            ("grid3d (a~3)", grid_graph(24, 24, 24), 24 * 24 * 12 + 24 * 12 + 12),
+        ]
+    else:
+        cases = [
+            ("path (a~1)", path_graph(800), 400),
+            ("grid2d (a~2)", grid_graph(180, 180), 180 * 90 + 90),
+            ("grid3d (a~3)", grid_graph(32, 32, 32), 32 * 32 * 16 + 32 * 16 + 16),
+        ]
+    from repro.graphs.traversal import bfs_distances
+    from repro.labeling.params import ParamSchedule
+    from repro.nets import NetHierarchy
+
+    table = Table(
+        title="E4: net-points per label level vs doubling dimension "
+        "(claim: the per-level count is 2^{O(alpha)}, necessarily so by "
+        "Thm 3.1)",
+        columns=["family", "n", "alpha_est", "level", "r_i", "net_points", "capped_by_n"],
+        notes="counts capped by n mean the level-i ball already covers the "
+        "whole graph (small-diameter instance), hiding further alpha growth",
+    )
+    levels_to_report = (4, 5, 6)
+    for name, graph, center in cases:
+        n = graph.num_vertices
+        params = ParamSchedule.for_graph(1.0, n)
+        hierarchy = NetHierarchy(graph)
+        alpha_est = doubling_dimension_estimate(graph, sample_centers=4, seed=0)
+        for i in levels_to_report:
+            if i not in params.levels():
+                continue
+            ball = bfs_distances(graph, center, radius=params.r(i))
+            net = hierarchy.net(min(params.net_level(i), hierarchy.top_level))
+            count = sum(1 for x in ball if x in net)
+            table.add_row(
+                family=name,
+                n=n,
+                alpha_est=alpha_est,
+                level=i,
+                r_i=params.r(i),
+                net_points=count,
+                capped_by_n=len(ball) == n,
+            )
+    return [table]
+
+
+# ---------------------------------------------------------------------------
+# E5 — query time vs |F| (Lemma 2.6: O(... |F|^2 log n))
+# ---------------------------------------------------------------------------
+
+def run_e5(quick: bool = True) -> list[Table]:
+    """Decoder wall time and sketch size versus the number of faults."""
+    side = 10 if quick else 16
+    graph = grid_graph(side, side)
+    scheme = ForbiddenSetLabeling(graph, epsilon=1.0)
+    fault_counts = (0, 2, 4, 8) if quick else (0, 2, 4, 8, 16, 32)
+    repeats = 5 if quick else 20
+    table = Table(
+        title="E5: query cost vs |F| (claim: O((1+1/eps)^{2a} |F|^2 log n) "
+        "decode time)",
+        columns=["n", "|F|", "ms/query", "sketch_vertices", "sketch_edges"],
+        notes="time includes sketch assembly (the |F|^2 term) plus Dijkstra",
+    )
+    import random as _random
+
+    rng = _random.Random(0)
+    n = graph.num_vertices
+    for k in fault_counts:
+        # pre-materialize the labels so timing isolates the decoder
+        queries = []
+        for _ in range(repeats):
+            s, t = rng.sample(range(n), 2)
+            faults = [v for v in rng.sample(range(n), min(k + 2, n)) if v not in (s, t)][:k]
+            queries.append((scheme.label(s), scheme.label(t), scheme.fault_set(faults)))
+        from repro.labeling.decoder import decode_distance
+
+        start = time.perf_counter()
+        results = [decode_distance(ls, lt, fs) for ls, lt, fs in queries]
+        elapsed = time.perf_counter() - start
+        table.add_row(
+            n=n,
+            **{"|F|": k},
+            **{"ms/query": 1000 * elapsed / len(queries)},
+            sketch_vertices=max(r.sketch_vertices for r in results),
+            sketch_edges=max(r.sketch_edges for r in results),
+        )
+    return [table]
+
+
+# ---------------------------------------------------------------------------
+# E6 — query cost vs n at fixed |F|
+# ---------------------------------------------------------------------------
+
+def run_e6(quick: bool = True) -> list[Table]:
+    """Decoder wall time versus n (claim: log n growth at fixed |F|, eps)."""
+    sizes = (128, 256, 512) if quick else (128, 256, 512, 1024, 2048)
+    table = Table(
+        title="E6: query cost vs n at |F|=4 (claim: polylog growth — "
+        "independent of graph size up to the log n level count)",
+        columns=["family", "n", "ms/query", "sketch_vertices", "sketch_edges"],
+    )
+    import random as _random
+
+    from repro.labeling.decoder import decode_distance
+
+    for n in sizes:
+        graph = path_graph(n)
+        scheme = ForbiddenSetLabeling(graph, epsilon=1.0)
+        rng = _random.Random(1)
+        queries = []
+        for _ in range(5 if quick else 15):
+            s, t = rng.sample(range(n), 2)
+            faults = [v for v in rng.sample(range(n), 6) if v not in (s, t)][:4]
+            queries.append((scheme.label(s), scheme.label(t), scheme.fault_set(faults)))
+        start = time.perf_counter()
+        results = [decode_distance(ls, lt, fs) for ls, lt, fs in queries]
+        elapsed = time.perf_counter() - start
+        table.add_row(
+            family="path",
+            n=n,
+            **{"ms/query": 1000 * elapsed / len(queries)},
+            sketch_vertices=max(r.sketch_vertices for r in results),
+            sketch_edges=max(r.sketch_edges for r in results),
+        )
+    return [table]
+
+
+# ---------------------------------------------------------------------------
+# E7 — polynomial-time construction (Theorem 2.1)
+# ---------------------------------------------------------------------------
+
+def run_e7(quick: bool = True) -> list[Table]:
+    """Preprocessing and per-label construction time versus n."""
+    sizes = (64, 144, 256) if quick else (64, 256, 1024, 1600)
+    table = Table(
+        title="E7: construction time vs n (claim: polynomial preprocessing)",
+        columns=["family", "n", "global_s", "ms/label", "net_levels"],
+        notes="global = net hierarchy + per-level net adjacency; labels are "
+        "materialized lazily on top",
+    )
+    for n in sizes:
+        side = int(math.isqrt(n))
+        graph = grid_graph(side, side)
+        start = time.perf_counter()
+        scheme = ForbiddenSetLabeling(graph, epsilon=1.0)
+        global_elapsed = time.perf_counter() - start
+        sample = list(range(0, graph.num_vertices, max(1, graph.num_vertices // 8)))
+        start = time.perf_counter()
+        for v in sample:
+            scheme.label(v)
+        label_elapsed = time.perf_counter() - start
+        table.add_row(
+            family="grid",
+            n=graph.num_vertices,
+            global_s=global_elapsed,
+            **{"ms/label": 1000 * label_elapsed / len(sample)},
+            net_levels=len(list(scheme.params.levels())),
+        )
+    return [table]
+
+
+# ---------------------------------------------------------------------------
+# E8 — routing stretch (Theorem 2.7)
+# ---------------------------------------------------------------------------
+
+def run_e8(quick: bool = True) -> list[Table]:
+    """Realized hop-count stretch of the forwarding simulator."""
+    size = 64 if quick else 144
+    queries_per = 20 if quick else 60
+    table = Table(
+        title="E8: routing stretch (claim: packets delivered in G\\F with "
+        "stretch <= 1+eps)",
+        columns=[
+            "family",
+            "n",
+            "eps",
+            "workload",
+            "routed",
+            "max_stretch",
+            "mean_stretch",
+            "redecodes",
+            "undeliverable",
+            "max_header_bits",
+            "max_table_entries",
+        ],
+    )
+    for family in ("grid", "road", "tree"):
+        graph = _FAMILIES[family](size)
+        for eps in (1.0,) if quick else (0.5, 1.0, 2.0):
+            router = ForbiddenSetRouting(graph, epsilon=eps)
+            exact = ExactRecomputeOracle(graph)
+            for workload_name, queries in {
+                "random": random_queries(
+                    graph, queries_per, max_vertex_faults=3, max_edge_faults=1, seed=4
+                ),
+                "adversarial": adversarial_queries(
+                    graph, queries_per, faults_per_query=2, seed=5
+                ),
+            }.items():
+                from repro.routing.header import header_for_route
+
+                max_stretch, sum_stretch, routed, redecodes, failures = 1.0, 0.0, 0, 0, 0
+                max_header_bits = 0
+                for q in queries:
+                    d_true = exact.query(
+                        q.s, q.t, vertex_faults=q.vertex_faults, edge_faults=q.edge_faults
+                    )
+                    if math.isinf(d_true):
+                        continue
+                    try:
+                        result = router.route(
+                            q.s,
+                            q.t,
+                            vertex_faults=q.vertex_faults,
+                            edge_faults=q.edge_faults,
+                        )
+                    except RoutingError:
+                        failures += 1
+                        continue
+                    routed += 1
+                    redecodes += result.redecodes
+                    plan = router.labeling.query(
+                        q.s, q.t, vertex_faults=q.vertex_faults,
+                        edge_faults=q.edge_faults,
+                    )
+                    faults = router.labeling.fault_set(
+                        q.vertex_faults, q.edge_faults
+                    )
+                    max_header_bits = max(
+                        max_header_bits, header_for_route(plan, faults).bit_length()
+                    )
+                    stretch = result.hops / d_true if d_true else 1.0
+                    sum_stretch += stretch
+                    max_stretch = max(max_stretch, stretch)
+                table.add_row(
+                    family=family,
+                    n=graph.num_vertices,
+                    eps=eps,
+                    workload=workload_name,
+                    routed=routed,
+                    max_stretch=max_stretch,
+                    mean_stretch=sum_stretch / routed if routed else 1.0,
+                    redecodes=redecodes,
+                    undeliverable=failures,
+                    max_header_bits=max_header_bits,
+                    max_table_entries=max(
+                        router.table(q.s).size_entries() for q in queries
+                    )
+                    if queries
+                    else 0,
+                )
+    return [table]
+
+
+# ---------------------------------------------------------------------------
+# E9 — the lower bound (Theorem 3.1)
+# ---------------------------------------------------------------------------
+
+def run_e9(quick: bool = True) -> list[Table]:
+    """Counting lower bound vs our measured upper bound."""
+    cases = [(3, 2), (4, 2), (2, 4)] if quick else [(3, 2), (5, 2), (7, 2), (2, 4), (3, 4)]
+    counting = Table(
+        title="E9a: Theorem 3.1 counting bound on the family F_{n,alpha} "
+        "(alpha = 2d, n = p^d)",
+        columns=[
+            "p",
+            "d",
+            "n",
+            "alpha",
+            "log2|F|",
+            "lb_bits/label",
+            "theory 2^(a/2)+log n",
+        ],
+    )
+    for p, d in cases:
+        n = p**d
+        alpha = 2 * d
+        counting.add_row(
+            p=p,
+            d=d,
+            n=n,
+            alpha=alpha,
+            **{"log2|F|": family_log2_size(p, d)},
+            **{"lb_bits/label": lower_bound_bits(p, d)},
+            **{"theory 2^(a/2)+log n": theoretical_lower_bound_bits(n, alpha)},
+        )
+    upper = Table(
+        title="E9b: our connectivity labels on sampled family members "
+        "(upper bound; must exceed the per-label counting bound)",
+        columns=[
+            "p",
+            "d",
+            "n",
+            "scheme_max_bits",
+            "conn_only_bits",
+            "lb_bits/label",
+            "ok",
+        ],
+        notes="conn_only_bits uses the connectivity codec (no distances/"
+        "weights) — the tighter upper bound for Theorem 3.1's regime",
+    )
+    for p, d in cases:
+        graph = sample_family_graph(p, d, seed=0)
+        scheme = ForbiddenSetConnectivityLabeling(graph)
+        sample = list(
+            range(0, graph.num_vertices, max(1, graph.num_vertices // 6))
+        )
+        stats = scheme.label_statistics(sample)
+        conn = scheme.connectivity_bits(sample)
+        lb = lower_bound_bits(p, d)
+        upper.add_row(
+            p=p,
+            d=d,
+            n=p**d,
+            scheme_max_bits=stats["max_bits"],
+            conn_only_bits=conn["max_bits"],
+            **{"lb_bits/label": lb},
+            ok=conn["max_bits"] >= lb,
+        )
+    return [counting, upper]
+
+
+# ---------------------------------------------------------------------------
+# E10 — oracle size independent of the number of faults (intro byproduct)
+# ---------------------------------------------------------------------------
+
+def run_e10(quick: bool = True) -> list[Table]:
+    """Oracle storage vs the fault budget, against baselines."""
+    side = 8 if quick else 14
+    graph = grid_graph(side, side)
+    n = graph.num_vertices
+    oracle = ForbiddenSetDistanceOracle(graph, epsilon=1.0)
+    apsp = ApspOracle(graph)
+    table = Table(
+        title="E10: oracle storage vs supported fault count (claim: labels "
+        "are unaffected by |F|)",
+        columns=["oracle", "storage_bits", "supports_faults", "exactness"],
+        notes="APSP stores Theta(n^2) words yet supports no faults; the "
+        "labeling oracle's size is fixed for every |F|",
+    )
+    table.add_row(
+        oracle="forbidden-set labels (eps=1)",
+        storage_bits=oracle.size_bits(),
+        supports_faults="any F at query time",
+        exactness="1+eps",
+    )
+    table.add_row(
+        oracle="APSP table",
+        storage_bits=apsp.size_entries() * math.ceil(math.log2(n)),
+        supports_faults="none",
+        exactness="exact (failure-free only)",
+    )
+    table.add_row(
+        oracle="recompute BFS",
+        storage_bits=0,
+        supports_faults="any F (O(n+m) per query)",
+        exactness="exact",
+    )
+    # demonstrate invariance: query with growing F, size never changes
+    invariance = Table(
+        title="E10b: labeling-oracle size while serving growing |F|",
+        columns=["|F|", "size_bits", "query_answer"],
+    )
+    for k in (0, 2, 4, 8):
+        faults = [v for v in range(1, 1 + k)]
+        result = oracle.query(0, n - 1, vertex_faults=faults)
+        invariance.add_row(
+            **{"|F|": k}, size_bits=oracle.size_bits(), query_answer=result.distance
+        )
+    return [table, invariance]
+
+
+# ---------------------------------------------------------------------------
+# E11 — ablation: low-level virtual edges
+# ---------------------------------------------------------------------------
+
+def run_e11(quick: bool = True) -> list[Table]:
+    """'full' (paper-faithful) vs 'unit' lowest level: size and stretch."""
+    side = 9 if quick else 14
+    graph = grid_graph(side, side)
+    queries = random_queries(
+        graph, 25 if quick else 80, max_vertex_faults=4, max_edge_faults=2, seed=6
+    )
+    table = Table(
+        title="E11: ablation of the lowest-level edge rule "
+        "(full pairs-within-lambda vs unit graph edges only)",
+        columns=[
+            "mode",
+            "max_bits",
+            "mean_bits",
+            "max_stretch",
+            "violations",
+            "conn_mismatch",
+        ],
+        notes="the unit mode keeps all guarantees (Claim 2's low-level case "
+        "uses the surviving unit edges) at a fraction of the label size",
+    )
+    for mode in ("full", "unit"):
+        scheme = ForbiddenSetLabeling(
+            graph, epsilon=1.0, options=LabelingOptions(low_level=mode)
+        )
+        summary = label_size_summary(scheme, graph, sample=8, seed=0)
+        report = evaluate_stretch(graph, scheme, queries)
+        table.add_row(
+            mode=mode,
+            max_bits=summary.max_bits,
+            mean_bits=summary.mean_bits,
+            max_stretch=report.max_stretch,
+            violations=report.violations,
+            conn_mismatch=report.connectivity_mismatches,
+        )
+    return [table]
+
+
+# ---------------------------------------------------------------------------
+# E12 — baseline cross-checks
+# ---------------------------------------------------------------------------
+
+def run_e12(quick: bool = True) -> list[Table]:
+    """Exactness and size comparisons on trees; failure-free scheme check."""
+    tree = balanced_tree(2, 5 if quick else 7)
+    n = tree.num_vertices
+    queries = random_queries(tree, 30 if quick else 100, max_vertex_faults=3, seed=7)
+    our = ForbiddenSetLabeling(tree, epsilon=1.0)
+    exact_tree = TreeForbiddenSetLabeling(tree)
+    exact = ExactRecomputeOracle(tree)
+    table = Table(
+        title="E12a: our scheme vs the exact tree labeling "
+        "(Courcelle-Twigg treewidth-1 comparator) on a balanced binary tree",
+        columns=["scheme", "n", "max_label_bits", "max_stretch", "exact_answers"],
+    )
+    our_report = evaluate_stretch(tree, our, queries)
+    tree_exact_answers = 0
+    for q in queries:
+        d_true = exact.query(q.s, q.t, vertex_faults=q.vertex_faults)
+        d_tree = exact_tree.query(q.s, q.t, vertex_faults=q.vertex_faults)
+        if d_tree == d_true:
+            tree_exact_answers += 1
+    our_summary = label_size_summary(our, tree, sample=8, seed=0)
+    table.add_row(
+        scheme="forbidden-set labels (eps=1)",
+        n=n,
+        max_label_bits=our_summary.max_bits,
+        max_stretch=our_report.max_stretch,
+        exact_answers="-",
+    )
+    table.add_row(
+        scheme="tree root-path labels",
+        n=n,
+        max_label_bits=exact_tree.max_label_entries() * math.ceil(math.log2(n)),
+        max_stretch=1.0,
+        exact_answers=f"{tree_exact_answers}/{len(queries)}",
+    )
+
+    ff_graph = grid_graph(9, 9) if quick else grid_graph(15, 15)
+    ff_table = Table(
+        title="E12b: failure-free scheme (Section 2.1 overview) stretch",
+        columns=["eps", "n", "max_stretch", "bound", "ok"],
+    )
+    for eps in (0.5, 1.0, 2.0):
+        ff = FailureFreeLabeling(ff_graph, epsilon=eps)
+        exact_ff = ExactRecomputeOracle(ff_graph)
+        worst = 1.0
+        import random as _random
+
+        rng = _random.Random(8)
+        for _ in range(40):
+            s, t = rng.sample(range(ff_graph.num_vertices), 2)
+            d_true = exact_ff.query(s, t)
+            worst = max(worst, ff.query(s, t) / d_true)
+        ff_table.add_row(
+            eps=eps,
+            n=ff_graph.num_vertices,
+            max_stretch=worst,
+            bound=1 + eps,
+            ok=worst <= 1 + eps + 1e-9,
+        )
+    return [table, ff_table]
+
+
+# ---------------------------------------------------------------------------
+# E13 — observing the approximation on large-diameter instances
+# ---------------------------------------------------------------------------
+
+def run_e13(quick: bool = True) -> list[Table]:
+    """Where stretch > 1 actually appears.
+
+    On small-diameter graphs the lowest level's radius-``r_{c+1}`` unit
+    edge balls around ``{s, t} ∪ F`` blanket the surviving graph, so the
+    sketch contains ``G \\ F`` and answers are *exact*.  Only when the
+    diameter dwarfs ``r_{c+1} ≈ 48`` must sketch paths climb the
+    hierarchy and pay net-snapping detours.  This experiment measures
+    that on long thin cylinders — and shows how far below the ``1+ε``
+    bound the realized stretch stays.
+    """
+    from repro.graphs.generators import cylinder_graph
+
+    cases = (
+        [(300, 6, 10)] if quick else [(300, 6, 25), (600, 8, 25), (1200, 6, 15)]
+    )
+    table = Table(
+        title="E13: realized stretch on large-diameter cylinders "
+        "(claim: 1 <= stretch <= 1+eps; observation: far below the bound)",
+        columns=[
+            "length",
+            "circumference",
+            "n",
+            "eps",
+            "queries",
+            "max_stretch",
+            "mean_stretch",
+            "bound",
+            "violations",
+        ],
+        notes="low_level='unit' labels; endpoints sampled from opposite ends "
+        "so distances exceed every unit-edge ball",
+    )
+    import random as _random
+
+    for length, circumference, num_queries in cases:
+        graph = cylinder_graph(length, circumference)
+        n = graph.num_vertices
+        for eps in (4.0,) if quick else (1.0, 4.0):
+            scheme = ForbiddenSetLabeling(
+                graph, epsilon=eps, options=LabelingOptions(low_level="unit")
+            )
+            exact = ExactRecomputeOracle(graph)
+            rng = _random.Random(13)
+            worst, total, finite, violations = 1.0, 0.0, 0, 0
+            for _ in range(num_queries):
+                s = rng.randrange(0, 40 * circumference)
+                t = rng.randrange(n - 40 * circumference, n)
+                faults = [v for v in rng.sample(range(n), 4) if v not in (s, t)]
+                d_true = exact.query(s, t, vertex_faults=faults)
+                d_hat = scheme.query(s, t, vertex_faults=faults).distance
+                if math.isinf(d_true) or math.isinf(d_hat):
+                    if math.isinf(d_true) != math.isinf(d_hat):
+                        violations += 1
+                    continue
+                finite += 1
+                stretch = d_hat / d_true
+                total += stretch
+                worst = max(worst, stretch)
+                if d_hat < d_true or stretch > scheme.stretch_bound() + 1e-9:
+                    violations += 1
+            table.add_row(
+                length=length,
+                circumference=circumference,
+                n=n,
+                eps=eps,
+                queries=finite,
+                max_stretch=worst,
+                mean_stretch=total / finite if finite else 1.0,
+                bound=scheme.stretch_bound(),
+                violations=violations,
+            )
+    return [table]
+
+
+# ---------------------------------------------------------------------------
+# E14 — the weighted extension
+# ---------------------------------------------------------------------------
+
+def run_e14(quick: bool = True) -> list[Table]:
+    """Weighted-graph scheme: sandwich validation across weight ranges.
+
+    The paper's theorems are stated for unweighted graphs; the weighted
+    port (module :mod:`repro.labeling.weighted`) guarantees the lower
+    bound unconditionally and a ``1 + ε + W_max/2^{c+1}`` upper bound.
+    """
+    import random as _random
+
+    from repro.graphs.generators import grid_graph as _grid
+    from repro.graphs.weighted import WeightedGraph, weighted_distances_avoiding
+    from repro.labeling.weighted import WeightedForbiddenSetLabeling
+
+    side = 6 if quick else 9
+    queries_per = 25 if quick else 60
+    table = Table(
+        title="E14: weighted extension — stretch under faults "
+        "(claim: never undershoots; upper bound 1 + eps + W_max/2^{c+1})",
+        columns=[
+            "W_max",
+            "eps",
+            "n",
+            "queries",
+            "max_stretch",
+            "mean_stretch",
+            "bound",
+            "violations",
+            "conn_mismatch",
+        ],
+    )
+    for max_weight in (1, 3, 8):
+        for eps in (1.0,) if quick else (0.5, 1.0, 2.0):
+            base = _grid(side, side)
+            rng = _random.Random(14)
+            graph = WeightedGraph(base.num_vertices)
+            for u, v in base.edges():
+                graph.add_edge(u, v, rng.randint(1, max_weight))
+            scheme = WeightedForbiddenSetLabeling(graph, epsilon=eps)
+            bound = scheme.stretch_bound()
+            n = graph.num_vertices
+            worst, total, finite = 1.0, 0.0, 0
+            violations = mismatches = 0
+            for _ in range(queries_per):
+                s, t = rng.sample(range(n), 2)
+                faults = [v for v in rng.sample(range(n), 4) if v not in (s, t)]
+                d_true = weighted_distances_avoiding(graph, s, faults).get(
+                    t, math.inf
+                )
+                d_hat = scheme.query(s, t, vertex_faults=faults).distance
+                if math.isinf(d_true) or math.isinf(d_hat):
+                    if math.isinf(d_true) != math.isinf(d_hat):
+                        mismatches += 1
+                    continue
+                finite += 1
+                stretch = d_hat / d_true if d_true else 1.0
+                total += stretch
+                worst = max(worst, stretch)
+                if d_hat < d_true or stretch > bound + 1e-9:
+                    violations += 1
+            table.add_row(
+                W_max=max_weight,
+                eps=eps,
+                n=n,
+                queries=finite,
+                max_stretch=worst,
+                mean_stretch=total / finite if finite else 1.0,
+                bound=bound,
+                violations=violations,
+                conn_mismatch=mismatches,
+            )
+    return [table]
+
+
+EXPERIMENTS = {
+    "E1": run_e1,
+    "E2": run_e2,
+    "E3": run_e3,
+    "E4": run_e4,
+    "E5": run_e5,
+    "E6": run_e6,
+    "E7": run_e7,
+    "E8": run_e8,
+    "E9": run_e9,
+    "E10": run_e10,
+    "E11": run_e11,
+    "E12": run_e12,
+    "E13": run_e13,
+    "E14": run_e14,
+}
+
+
+def run_experiment(name: str, quick: bool = True) -> list[Table]:
+    """Run one experiment by id (``"E1"`` … ``"E14"``)."""
+    key = name.upper()
+    if key not in EXPERIMENTS:
+        raise KeyError(f"unknown experiment {name!r}; choose from {sorted(EXPERIMENTS)}")
+    return EXPERIMENTS[key](quick=quick)
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    parser = argparse.ArgumentParser(description="repro experiment harness")
+    parser.add_argument("--exp", action="append", default=[], help="experiment id, e.g. E1")
+    parser.add_argument("--all", action="store_true", help="run every experiment")
+    parser.add_argument(
+        "--full", action="store_true", help="full-size instances (slow; EXPERIMENTS.md sizes)"
+    )
+    args = parser.parse_args(argv)
+    names = sorted(EXPERIMENTS) if args.all or not args.exp else args.exp
+    for name in names:
+        start = time.perf_counter()
+        for table in run_experiment(name, quick=not args.full):
+            print(table.render())
+            print()
+        print(f"[{name.upper()} done in {time.perf_counter() - start:.1f}s]")
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,92 @@
+"""Growth-law fitting for experiment series.
+
+The E-tables report raw measurements; these helpers quantify the *shape*
+— the criterion the reproduction is judged on ("who wins, by roughly
+what factor, where crossovers fall").  Ordinary least squares in
+log-space, implemented directly (no numpy dependency in the core):
+
+* :func:`fit_power_law` — ``y ≈ a · x^k`` → returns ``(a, k)``;
+* :func:`fit_polylog` — ``y ≈ a · (log₂ x)^k`` → returns ``(a, k)``;
+* :func:`fit_exponential` — ``y ≈ a · b^x`` → returns ``(a, b)``;
+* :func:`r_squared` — goodness of fit of a prediction function.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Sequence
+
+
+def _ols(xs: Sequence[float], ys: Sequence[float]) -> tuple[float, float]:
+    """Least-squares line ``y = intercept + slope·x``."""
+    if len(xs) != len(ys) or len(xs) < 2:
+        raise ValueError("need at least two (x, y) pairs")
+    n = len(xs)
+    mean_x = sum(xs) / n
+    mean_y = sum(ys) / n
+    var_x = sum((x - mean_x) ** 2 for x in xs)
+    if var_x == 0:
+        raise ValueError("x values are all identical")
+    cov = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
+    slope = cov / var_x
+    return mean_y - slope * mean_x, slope
+
+
+def fit_power_law(
+    xs: Sequence[float], ys: Sequence[float]
+) -> tuple[float, float]:
+    """Fit ``y = a · x^k`` (log-log OLS); returns ``(a, k)``.
+
+    All inputs must be positive.
+    """
+    _check_positive(xs, ys)
+    intercept, slope = _ols(
+        [math.log(x) for x in xs], [math.log(y) for y in ys]
+    )
+    return math.exp(intercept), slope
+
+
+def fit_polylog(
+    xs: Sequence[float], ys: Sequence[float]
+) -> tuple[float, float]:
+    """Fit ``y = a · (log₂ x)^k``; returns ``(a, k)``.
+
+    Requires ``x > 1`` throughout (so the logs are positive).
+    """
+    if any(x <= 1 for x in xs):
+        raise ValueError("polylog fit requires x > 1")
+    _check_positive(xs, ys)
+    intercept, slope = _ols(
+        [math.log(math.log2(x)) for x in xs], [math.log(y) for y in ys]
+    )
+    return math.exp(intercept), slope
+
+
+def fit_exponential(
+    xs: Sequence[float], ys: Sequence[float]
+) -> tuple[float, float]:
+    """Fit ``y = a · b^x`` (semi-log OLS); returns ``(a, b)``."""
+    _check_positive(xs=[1.0], ys=ys)  # ys must be positive; xs unrestricted
+    intercept, slope = _ols(list(xs), [math.log(y) for y in ys])
+    return math.exp(intercept), math.exp(slope)
+
+
+def r_squared(
+    xs: Sequence[float],
+    ys: Sequence[float],
+    predict: Callable[[float], float],
+) -> float:
+    """Coefficient of determination of ``predict`` on the data."""
+    if len(xs) != len(ys) or not xs:
+        raise ValueError("need matching non-empty sequences")
+    mean_y = sum(ys) / len(ys)
+    ss_tot = sum((y - mean_y) ** 2 for y in ys)
+    ss_res = sum((y - predict(x)) ** 2 for x, y in zip(xs, ys))
+    if ss_tot == 0:
+        return 1.0 if ss_res == 0 else 0.0
+    return 1.0 - ss_res / ss_tot
+
+
+def _check_positive(xs: Sequence[float], ys: Sequence[float]) -> None:
+    if any(x <= 0 for x in xs) or any(y <= 0 for y in ys):
+        raise ValueError("log-space fitting requires positive values")

@@ -1,0 +1,94 @@
+"""Stretch evaluation against the exact baseline.
+
+The central verification loop of the reproduction: run a query workload
+through a scheme and through :class:`ExactRecomputeOracle`, and check
+the ``(1+ε)`` sandwich on every answer.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.baselines.exact import ExactRecomputeOracle
+from repro.graphs.graph import Graph
+from repro.workloads.queries import Query
+
+
+@dataclass
+class StretchReport:
+    """Aggregate outcome of a stretch evaluation.
+
+    ``violations`` counts answers below the true distance or above the
+    stretch bound; ``connectivity_mismatches`` counts finite/infinite
+    disagreements.  Both must be zero for a correct scheme.
+    """
+
+    num_queries: int = 0
+    num_finite: int = 0
+    max_stretch: float = 1.0
+    sum_stretch: float = 0.0
+    violations: int = 0
+    connectivity_mismatches: int = 0
+    worst_query: Query | None = None
+    stretch_bound: float = math.inf
+    samples: list[tuple[Query, float, float]] = field(default_factory=list)
+
+    @property
+    def mean_stretch(self) -> float:
+        """Mean multiplicative stretch over finite-distance queries."""
+        return self.sum_stretch / self.num_finite if self.num_finite else 1.0
+
+    @property
+    def clean(self) -> bool:
+        """No violations and no connectivity mismatches."""
+        return self.violations == 0 and self.connectivity_mismatches == 0
+
+
+def evaluate_stretch(
+    graph: Graph,
+    scheme,
+    queries: Iterable[Query],
+    stretch_bound: float | None = None,
+    keep_samples: int = 0,
+) -> StretchReport:
+    """Run ``queries`` through ``scheme`` (any object with a ``query``
+    method accepting ``(s, t, vertex_faults=…, edge_faults=…)`` and
+    returning a number or an object with ``.distance``) and compare each
+    answer with the exact baseline.
+    """
+    exact = ExactRecomputeOracle(graph)
+    if stretch_bound is None:
+        stretch_bound = getattr(scheme, "stretch_bound", lambda: math.inf)()
+    report = StretchReport(stretch_bound=stretch_bound)
+    for query in queries:
+        d_true = exact.query(
+            query.s,
+            query.t,
+            vertex_faults=query.vertex_faults,
+            edge_faults=query.edge_faults,
+        )
+        answer = scheme.query(
+            query.s,
+            query.t,
+            vertex_faults=query.vertex_faults,
+            edge_faults=query.edge_faults,
+        )
+        d_hat = getattr(answer, "distance", answer)
+        report.num_queries += 1
+        if math.isinf(d_true) or math.isinf(d_hat):
+            if math.isinf(d_true) != math.isinf(d_hat):
+                report.connectivity_mismatches += 1
+            continue
+        report.num_finite += 1
+        stretch = d_hat / d_true if d_true > 0 else 1.0
+        report.sum_stretch += stretch
+        if d_hat < d_true - 1e-9 or stretch > stretch_bound + 1e-9:
+            report.violations += 1
+        if stretch > report.max_stretch:
+            report.max_stretch = stretch
+            report.worst_query = query
+        if len(report.samples) < keep_samples:
+            report.samples.append((query, d_true, d_hat))
+    return report

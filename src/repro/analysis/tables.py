@@ -1,0 +1,53 @@
+"""Minimal text-table rendering for experiment output.
+
+Every experiment in :mod:`repro.analysis.experiments` produces a
+:class:`Table`; the benchmarks print them and ``EXPERIMENTS.md`` embeds
+their rendered form, so the library needs exactly one table format.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Table:
+    """A titled table: ordered columns, list of row dicts."""
+
+    title: str
+    columns: list[str]
+    rows: list[dict] = field(default_factory=list)
+    notes: str = ""
+
+    def add_row(self, **values) -> None:
+        """Append a row; every column must be supplied."""
+        missing = [c for c in self.columns if c not in values]
+        if missing:
+            raise ValueError(f"row missing columns {missing}")
+        self.rows.append(values)
+
+    def render(self) -> str:
+        """Render as aligned monospace text."""
+        cells = [[self._fmt(row[c]) for c in self.columns] for row in self.rows]
+        widths = [
+            max(len(c), *(len(line[i]) for line in cells)) if cells else len(c)
+            for i, c in enumerate(self.columns)
+        ]
+        lines = [self.title, ""]
+        header = " | ".join(c.ljust(w) for c, w in zip(self.columns, widths))
+        lines.append(header)
+        lines.append("-+-".join("-" * w for w in widths))
+        for line in cells:
+            lines.append(" | ".join(v.ljust(w) for v, w in zip(line, widths)))
+        if self.notes:
+            lines.append("")
+            lines.append(f"note: {self.notes}")
+        return "\n".join(lines)
+
+    @staticmethod
+    def _fmt(value) -> str:
+        if isinstance(value, float):
+            if value != value or value in (float("inf"), float("-inf")):
+                return str(value)
+            return f"{value:.3f}"
+        return str(value)

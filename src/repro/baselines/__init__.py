@@ -1,0 +1,13 @@
+"""Baseline oracles the paper's scheme is compared against."""
+
+from repro.baselines.exact import ExactRecomputeOracle
+from repro.baselines.apsp import ApspOracle
+from repro.baselines.tree_labeling import TreeForbiddenSetLabeling
+from repro.baselines.single_fault import SingleFaultOracle
+
+__all__ = [
+    "ApspOracle",
+    "ExactRecomputeOracle",
+    "SingleFaultOracle",
+    "TreeForbiddenSetLabeling",
+]

@@ -1,0 +1,34 @@
+"""Static all-pairs-shortest-paths oracle (no fault tolerance).
+
+The classic space/time comparator: ``Θ(n²)`` words of storage, ``O(1)``
+failure-free queries, and *no* ability to answer forbidden-set queries —
+included to quantify what the labeling scheme buys (experiment E10).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.exceptions import QueryError
+from repro.graphs.graph import Graph
+from repro.graphs.traversal import bfs_distances
+
+
+class ApspOracle:
+    """Precomputed all-pairs distance table for failure-free queries."""
+
+    def __init__(self, graph: Graph) -> None:
+        self._n = graph.num_vertices
+        self._table: list[dict[int, int]] = [
+            bfs_distances(graph, v) for v in graph.vertices()
+        ]
+
+    def query(self, s: int, t: int) -> float:
+        """Exact failure-free distance (``math.inf`` when disconnected)."""
+        if not 0 <= s < self._n or not 0 <= t < self._n:
+            raise QueryError(f"vertex out of range: ({s}, {t})")
+        return self._table[s].get(t, math.inf)
+
+    def size_entries(self) -> int:
+        """Number of stored (vertex, distance) entries."""
+        return sum(len(row) for row in self._table)

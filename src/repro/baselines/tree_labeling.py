@@ -1,0 +1,123 @@
+"""Exact forbidden-set distance labeling for trees.
+
+Trees are the treewidth-1 case of Courcelle–Twigg [2007]; no public
+implementation of the MSO-based general scheme exists, so this serves as
+the exact comparator in the regime where both approaches apply
+(experiment E12 / DESIGN.md substitution note).
+
+The label of ``v`` is its root path: the ancestor list with depths.  In
+a tree the (unique) ``u–v`` path is determined by the two root paths, so
+the decoder can answer *exactly*:
+
+* ``d_T(u, v) = depth(u) + depth(v) - 2·depth(lca)``;
+* ``u`` and ``v`` are connected in ``T \\ F`` iff no forbidden vertex or
+  edge lies on the path, which the root paths reveal; the distance is
+  unchanged when connected (paths in trees are unique).
+
+Label length is ``O(depth · log n)`` bits — ``O(log² n)`` on balanced
+trees, matching the ``k = 1`` instantiation of the ``O(k² log² n)``
+Courcelle–Twigg bound.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.exceptions import GraphError, QueryError
+from repro.graphs.components import is_connected
+from repro.graphs.graph import Graph
+from repro.graphs.traversal import bfs_parents
+
+
+@dataclass(frozen=True)
+class TreeLabel:
+    """Root path of one vertex: ``(root, …, vertex)`` with depths implied."""
+
+    vertex: int
+    path: tuple[int, ...]  # root first, vertex last
+
+    @property
+    def depth(self) -> int:
+        """Distance to the root."""
+        return len(self.path) - 1
+
+    def size_entries(self) -> int:
+        """Number of vertex ids stored."""
+        return len(self.path)
+
+
+class TreeForbiddenSetLabeling:
+    """Exact forbidden-set distance labels on a tree."""
+
+    def __init__(self, tree: Graph, root: int = 0) -> None:
+        if tree.num_edges != tree.num_vertices - 1 or not is_connected(tree):
+            raise GraphError("input graph is not a tree")
+        self._labels: dict[int, TreeLabel] = {}
+        _, parent = bfs_parents(tree, root)
+        for v in tree.vertices():
+            path = [v]
+            while path[-1] != root:
+                path.append(parent[path[-1]])
+            path.reverse()
+            self._labels[v] = TreeLabel(vertex=v, path=tuple(path))
+
+    def label(self, vertex: int) -> TreeLabel:
+        """The label of ``vertex``."""
+        try:
+            return self._labels[vertex]
+        except KeyError:
+            raise QueryError(f"unknown vertex {vertex}") from None
+
+    def query(
+        self,
+        s: int,
+        t: int,
+        vertex_faults: Iterable[int] = (),
+        edge_faults: Iterable[tuple[int, int]] = (),
+    ) -> float:
+        """Exact ``d_{T\\F}(s, t)`` (``math.inf`` when disconnected)."""
+        return self.query_from_labels(
+            self.label(s),
+            self.label(t),
+            [self.label(f) for f in vertex_faults],
+            [(self.label(a), self.label(b)) for a, b in edge_faults],
+        )
+
+    @staticmethod
+    def query_from_labels(
+        label_s: TreeLabel,
+        label_t: TreeLabel,
+        fault_vertex_labels: Iterable[TreeLabel] = (),
+        fault_edge_labels: Iterable[tuple[TreeLabel, TreeLabel]] = (),
+    ) -> float:
+        """Decode exactly from root-path labels alone."""
+        forbidden_vertices = {label.vertex for label in fault_vertex_labels}
+        if label_s.vertex in forbidden_vertices or label_t.vertex in forbidden_vertices:
+            raise QueryError("query endpoint is inside the forbidden set")
+        # longest common prefix of the root paths = path to the LCA
+        lca_depth = -1
+        for a, b in zip(label_s.path, label_t.path):
+            if a != b:
+                break
+            lca_depth += 1
+        # the s-t path: s up to the LCA, then down to t
+        up = label_s.path[lca_depth:][::-1]  # s … lca (reversed slice)
+        down = label_t.path[lca_depth + 1 :]
+        path = up + down
+        path_vertices = set(path)
+        if path_vertices & forbidden_vertices:
+            return math.inf
+        path_edges = {
+            (min(a, b), max(a, b)) for a, b in zip(path, path[1:])
+        }
+        for label_a, label_b in fault_edge_labels:
+            a, b = label_a.vertex, label_b.vertex
+            if (min(a, b), max(a, b)) in path_edges:
+                return math.inf
+        return len(path) - 1
+
+    def max_label_entries(self) -> int:
+        """Largest label size, in stored vertex ids."""
+        return max(label.size_entries() for label in self._labels.values())

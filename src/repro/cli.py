@@ -1,0 +1,233 @@
+"""Command-line interface.
+
+Subcommands::
+
+    python -m repro build  GRAPH_SPEC -e 1.0 -o labels.fsdl [--low-level unit]
+    python -m repro query  labels.fsdl -s 0 -t 63 [--fail-vertex 5 ...]
+    python -m repro info   labels.fsdl
+    python -m repro verify GRAPH_SPEC -e 1.0
+    python -m repro experiment E1 [E5 ...] [--full]
+
+``GRAPH_SPEC`` selects a generator: ``path:64``, ``cycle:32``,
+``grid:8x8``, ``grid:4x4x4``, ``torus:6x6``, ``tree:50`` (optionally
+``tree:50:seed``), ``road:10x10`` (optionally ``road:10x10:seed``),
+``cylinder:300x6``, ``king:4x2``, ``halfking:4x2``, ``hypercube:5``,
+``sierpinski:4``, ``geometric:100:0.2`` (optionally ``:seed``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import math
+import sys
+
+from repro.exceptions import ReproError
+from repro.graphs.graph import Graph
+
+
+def parse_graph_spec(spec: str) -> Graph:
+    """Build a graph from a ``family:params`` specification string."""
+    from repro.graphs import generators as gen
+
+    parts = spec.split(":")
+    family, args = parts[0].lower(), parts[1:]
+
+    def dims(text: str) -> list[int]:
+        return [int(piece) for piece in text.split("x")]
+
+    try:
+        if family == "path":
+            return gen.path_graph(int(args[0]))
+        if family == "cycle":
+            return gen.cycle_graph(int(args[0]))
+        if family == "grid":
+            return gen.grid_graph(*dims(args[0]))
+        if family == "torus":
+            return gen.torus_graph(*dims(args[0]))
+        if family == "tree":
+            seed = int(args[1]) if len(args) > 1 else 0
+            return gen.random_tree(int(args[0]), seed=seed)
+        if family == "road":
+            width, height = dims(args[0])
+            seed = int(args[1]) if len(args) > 1 else 0
+            return gen.road_like_graph(width, height, seed=seed)
+        if family == "cylinder":
+            length, circumference = dims(args[0])
+            return gen.cylinder_graph(length, circumference)
+        if family == "king":
+            p, d = dims(args[0])
+            return gen.king_grid(p, d)
+        if family == "halfking":
+            p, d = dims(args[0])
+            return gen.half_king_grid(p, d)
+        if family == "hypercube":
+            return gen.hypercube_graph(int(args[0]))
+        if family == "sierpinski":
+            return gen.sierpinski_graph(int(args[0]))
+        if family == "geometric":
+            seed = int(args[2]) if len(args) > 2 else 0
+            graph, _ = gen.random_geometric_graph(
+                int(args[0]), float(args[1]), seed=seed
+            )
+            return graph
+    except (IndexError, ValueError) as exc:
+        raise SystemExit(f"bad graph spec {spec!r}: {exc}")
+    raise SystemExit(f"unknown graph family {family!r}")
+
+
+def _parse_edge(text: str) -> tuple[int, int]:
+    try:
+        a, b = text.split("-")
+        return int(a), int(b)
+    except ValueError:
+        raise SystemExit(f"bad edge {text!r}; expected 'a-b'")
+
+
+def cmd_build(args: argparse.Namespace) -> int:
+    """``repro build``: construct labels and save a database."""
+    from repro.labeling import ForbiddenSetLabeling, LabelingOptions
+    from repro.oracle.persistence import save_labels
+
+    graph = parse_graph_spec(args.graph)
+    print(f"graph: {graph!r}")
+    scheme = ForbiddenSetLabeling(
+        graph,
+        epsilon=args.epsilon,
+        options=LabelingOptions(low_level=args.low_level),
+    )
+    print(
+        f"scheme: eps={args.epsilon} c={scheme.params.c} "
+        f"levels={list(scheme.params.levels())}"
+    )
+    size = save_labels(scheme, args.output)
+    print(f"wrote {args.output}: {graph.num_vertices} labels, {size} bytes")
+    return 0
+
+
+def cmd_query(args: argparse.Namespace) -> int:
+    """``repro query``: answer a forbidden-set query from a database."""
+    from repro.oracle.persistence import LabelDatabase
+
+    db = LabelDatabase.load(args.database)
+    edge_faults = [_parse_edge(e) for e in args.fail_edge]
+    result = db.query(
+        args.source,
+        args.target,
+        vertex_faults=args.fail_vertex,
+        edge_faults=edge_faults,
+    )
+    if math.isinf(result.distance):
+        print(f"d({args.source}, {args.target} | F) = unreachable")
+    else:
+        print(f"d({args.source}, {args.target} | F) = {result.distance}")
+        print(f"sketch path: {' -> '.join(map(str, result.path))}")
+    print(
+        f"sketch graph: {result.sketch_vertices} vertices, "
+        f"{result.sketch_edges} edges"
+    )
+    return 0
+
+
+def cmd_info(args: argparse.Namespace) -> int:
+    """``repro info``: print database header and size statistics."""
+    from repro.oracle.persistence import LabelDatabase
+
+    db = LabelDatabase.load(args.database)
+    sizes = [len(db._table[v]) for v in range(db.num_vertices)]
+    print(f"labels:    {db.num_vertices}")
+    print(f"epsilon:   {db.epsilon}")
+    print(f"c:         {db.c}")
+    print(f"top level: {db.top_level}")
+    print(f"storage:   {db.size_bits()} bits ({db.size_bits() // 8} bytes)")
+    print(f"max label: {8 * max(sizes)} bits")
+    print(f"avg label: {8 * sum(sizes) / len(sizes):.0f} bits")
+    return 0
+
+
+def cmd_verify(args: argparse.Namespace) -> int:
+    """``repro verify``: check a scheme against the paper's definitions."""
+    from repro.labeling import ForbiddenSetLabeling, LabelingOptions
+    from repro.labeling.verification import verify_scheme
+
+    graph = parse_graph_spec(args.graph)
+    scheme = ForbiddenSetLabeling(
+        graph,
+        epsilon=args.epsilon,
+        options=LabelingOptions(low_level=args.low_level),
+    )
+    verify_scheme(graph, scheme)
+    print(f"OK: {graph!r} at eps={args.epsilon} verifies against the paper's "
+          "definitions")
+    return 0
+
+
+def cmd_experiment(args: argparse.Namespace) -> int:
+    """``repro experiment``: run experiment tables by id."""
+    from repro.analysis.experiments import run_experiment
+
+    for name in args.names:
+        for table in run_experiment(name, quick=not args.full):
+            print(table.render())
+            print()
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argparse command tree."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="forbidden-set distance labels (Abraham-Chechik-"
+        "Gavoille-Peleg, PODC 2010)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_build = sub.add_parser("build", help="build and save a label database")
+    p_build.add_argument("graph", help="graph spec, e.g. grid:8x8")
+    p_build.add_argument("-e", "--epsilon", type=float, default=1.0)
+    p_build.add_argument("-o", "--output", default="labels.fsdl")
+    p_build.add_argument("--low-level", choices=["full", "unit"], default="full")
+    p_build.set_defaults(func=cmd_build)
+
+    p_query = sub.add_parser("query", help="query a saved label database")
+    p_query.add_argument("database")
+    p_query.add_argument("-s", "--source", type=int, required=True)
+    p_query.add_argument("-t", "--target", type=int, required=True)
+    p_query.add_argument("--fail-vertex", type=int, action="append", default=[])
+    p_query.add_argument(
+        "--fail-edge", action="append", default=[], metavar="A-B"
+    )
+    p_query.set_defaults(func=cmd_query)
+
+    p_info = sub.add_parser("info", help="inspect a saved label database")
+    p_info.add_argument("database")
+    p_info.set_defaults(func=cmd_info)
+
+    p_verify = sub.add_parser(
+        "verify", help="check a scheme against the paper's definitions"
+    )
+    p_verify.add_argument("graph")
+    p_verify.add_argument("-e", "--epsilon", type=float, default=1.0)
+    p_verify.add_argument("--low-level", choices=["full", "unit"], default="full")
+    p_verify.set_defaults(func=cmd_verify)
+
+    p_exp = sub.add_parser("experiment", help="run experiments E1..E13")
+    p_exp.add_argument("names", nargs="+")
+    p_exp.add_argument("--full", action="store_true")
+    p_exp.set_defaults(func=cmd_experiment)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

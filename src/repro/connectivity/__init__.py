@@ -1,0 +1,17 @@
+"""Forbidden-set connectivity labeling and the Section 3 lower bound."""
+
+from repro.connectivity.scheme import ForbiddenSetConnectivityLabeling
+from repro.connectivity.lower_bound import (
+    family_log2_size,
+    lower_bound_bits,
+    reconstruct_graph_from_oracle,
+    theoretical_lower_bound_bits,
+)
+
+__all__ = [
+    "ForbiddenSetConnectivityLabeling",
+    "family_log2_size",
+    "lower_bound_bits",
+    "reconstruct_graph_from_oracle",
+    "theoretical_lower_bound_bits",
+]

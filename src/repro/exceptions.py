@@ -1,0 +1,25 @@
+"""Exception types raised by the :mod:`repro` library."""
+
+
+class ReproError(Exception):
+    """Base class for all library-specific errors."""
+
+
+class GraphError(ReproError):
+    """Raised for malformed graph inputs (bad vertex ids, bad edges)."""
+
+
+class LabelingError(ReproError):
+    """Raised when a labeling scheme is misused (unknown vertex, bad level)."""
+
+
+class QueryError(ReproError):
+    """Raised for invalid queries (e.g. an endpoint is inside the forbidden set)."""
+
+
+class EncodingError(ReproError):
+    """Raised when a serialized label cannot be decoded."""
+
+
+class RoutingError(ReproError):
+    """Raised when packet forwarding cannot make progress."""

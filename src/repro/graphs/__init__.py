@@ -1,0 +1,34 @@
+"""Graph substrate: compact graphs, traversal, generators, doubling dimension."""
+
+from repro.graphs.graph import Graph
+from repro.graphs.builders import from_edge_list, from_networkx, to_networkx
+from repro.graphs.components import connected_components, is_connected
+from repro.graphs.fastbfs import BfsScratch
+from repro.graphs.weighted import WeightedGraph
+from repro.graphs.traversal import (
+    bfs_distances,
+    bfs_distances_avoiding,
+    bfs_first_hops,
+    bfs_parents,
+    dijkstra,
+    eccentricity,
+    shortest_path,
+)
+
+__all__ = [
+    "BfsScratch",
+    "Graph",
+    "WeightedGraph",
+    "bfs_distances",
+    "bfs_distances_avoiding",
+    "bfs_first_hops",
+    "bfs_parents",
+    "connected_components",
+    "dijkstra",
+    "eccentricity",
+    "from_edge_list",
+    "from_networkx",
+    "is_connected",
+    "shortest_path",
+    "to_networkx",
+]

@@ -1,0 +1,55 @@
+"""Converters between :class:`repro.graphs.Graph` and other formats.
+
+networkx is an optional dependency used only here (and in tests as an
+independent cross-check); the core library never imports it.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.exceptions import GraphError
+from repro.graphs.graph import Graph
+
+
+def from_edge_list(num_vertices: int, edges: Iterable[tuple[int, int]]) -> Graph:
+    """Build a graph from ``(u, v)`` pairs, ignoring duplicate edges."""
+    g = Graph(num_vertices)
+    seen: set[tuple[int, int]] = set()
+    for u, v in edges:
+        key = (min(u, v), max(u, v))
+        if u == v or key in seen:
+            continue
+        seen.add(key)
+        g.add_edge(u, v)
+    return g
+
+
+def from_networkx(nx_graph) -> tuple[Graph, dict, list]:
+    """Convert a networkx graph.
+
+    Returns ``(graph, node_to_id, id_to_node)`` where the mappings
+    translate between networkx node objects and our integer ids.
+    """
+    nodes = list(nx_graph.nodes())
+    node_to_id = {node: index for index, node in enumerate(nodes)}
+    g = Graph(len(nodes))
+    for a, b in nx_graph.edges():
+        if a == b:
+            continue
+        u, v = node_to_id[a], node_to_id[b]
+        if not g.has_edge(u, v):
+            g.add_edge(u, v)
+    return g, node_to_id, nodes
+
+
+def to_networkx(graph: Graph):
+    """Convert to an (undirected, unweighted) ``networkx.Graph``."""
+    try:
+        import networkx as nx
+    except ImportError as exc:  # pragma: no cover - networkx is installed in dev
+        raise GraphError("networkx is required for to_networkx") from exc
+    nx_graph = nx.Graph()
+    nx_graph.add_nodes_from(graph.vertices())
+    nx_graph.add_edges_from(graph.edges())
+    return nx_graph

@@ -1,0 +1,38 @@
+"""Connected-component helpers."""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.graphs.graph import Graph
+
+
+def connected_components(graph: Graph) -> list[list[int]]:
+    """Connected components as sorted vertex lists, largest-first order
+    is NOT guaranteed — components appear in order of their smallest vertex.
+    """
+    seen = [False] * graph.num_vertices
+    components: list[list[int]] = []
+    for start in graph.vertices():
+        if seen[start]:
+            continue
+        seen[start] = True
+        component = [start]
+        frontier = deque([start])
+        while frontier:
+            u = frontier.popleft()
+            for v in graph.neighbors(u):
+                if not seen[v]:
+                    seen[v] = True
+                    component.append(v)
+                    frontier.append(v)
+        component.sort()
+        components.append(component)
+    return components
+
+
+def is_connected(graph: Graph) -> bool:
+    """Whether the graph is connected (the empty graph counts as connected)."""
+    if graph.num_vertices == 0:
+        return True
+    return len(connected_components(graph)) == 1

@@ -1,0 +1,106 @@
+"""Doubling-dimension estimation.
+
+The doubling dimension of ``G`` is the smallest ``α`` such that every
+ball of radius ``2r`` can be covered by ``2^α`` balls of radius ``r``.
+Computing it exactly is NP-hard in general, so the library provides a
+*greedy* estimator: for (sampled) centers and radii it covers ``B(v,2r)``
+greedily by radius-``r`` balls and reports ``ceil(log2(#balls))``.  The
+greedy cover built from an ``r``-net is a standard constant-factor proxy
+(net points inside ``B(v, 2r+r)`` dominate it), so the estimate upper-
+bounds the true dimension up to a small additive constant — exactly what
+the experiments need to certify "this family has small α".
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.graphs.graph import Graph
+from repro.graphs.traversal import bfs_distances
+from repro.util.rng import RngLike, make_rng
+
+
+def greedy_ball_cover(graph: Graph, center: int, radius_big: int, radius_small: int) -> list[int]:
+    """Greedily cover ``B(center, radius_big)`` with balls of ``radius_small``.
+
+    Repeatedly picks the not-yet-covered vertex closest to the center
+    (ties by id, making the cover deterministic), covers its small ball,
+    and returns the list of chosen ball centers.
+    """
+    ball = bfs_distances(graph, center, radius=radius_big)
+    uncovered = set(ball)
+    order = sorted(ball, key=lambda v: (ball[v], v))
+    centers: list[int] = []
+    for candidate in order:
+        if candidate not in uncovered:
+            continue
+        centers.append(candidate)
+        small_ball = bfs_distances(graph, candidate, radius=radius_small)
+        uncovered.difference_update(small_ball)
+        if not uncovered:
+            break
+    return centers
+
+
+def doubling_dimension_estimate(
+    graph: Graph,
+    sample_centers: int = 16,
+    seed: RngLike = None,
+) -> float:
+    """Estimated doubling dimension: the max over sampled ``(v, r)`` of
+    ``log2`` of the greedy cover size of ``B(v, 2r)`` by radius-``r`` balls.
+
+    Returns 0.0 for (near-)edgeless graphs.
+    """
+    if graph.num_vertices == 0 or graph.num_edges == 0:
+        return 0.0
+    rng = make_rng(seed)
+    n = graph.num_vertices
+    centers = (
+        list(graph.vertices())
+        if n <= sample_centers
+        else rng.sample(range(n), sample_centers)
+    )
+    worst = 1
+    for center in centers:
+        ecc = max(bfs_distances(graph, center).values(), default=0)
+        radius = 1
+        while 2 * radius <= max(ecc, 2):
+            cover = greedy_ball_cover(graph, center, 2 * radius, radius)
+            worst = max(worst, len(cover))
+            radius *= 2
+    return math.log2(worst)
+
+
+def packing_bound_holds(
+    graph: Graph,
+    net_points: set[int],
+    spacing: int,
+    alpha: float,
+    sample_centers: int = 16,
+    radius: int | None = None,
+    seed: RngLike = None,
+) -> bool:
+    """Check the Fact 1 / Lemma 2.2 packing bound on sampled balls:
+    ``|B(v, R) ∩ W(spacing)| <= (4R / spacing)^alpha`` for ``R >= spacing``.
+
+    Used by tests to validate net constructions against a claimed ``α``.
+    """
+    rng = make_rng(seed)
+    n = graph.num_vertices
+    centers = (
+        list(graph.vertices())
+        if n <= sample_centers
+        else rng.sample(range(n), sample_centers)
+    )
+    for center in centers:
+        ecc = max(bfs_distances(graph, center).values(), default=0)
+        big_r = radius if radius is not None else max(ecc, spacing)
+        test_radius = spacing
+        while test_radius <= big_r:
+            ball = bfs_distances(graph, center, radius=test_radius)
+            count = sum(1 for v in ball if v in net_points)
+            if count > (4 * test_radius / spacing) ** alpha:
+                return False
+            test_radius *= 2
+    return True

@@ -1,0 +1,161 @@
+"""A compact undirected, unweighted graph over integer vertices.
+
+The paper's schemes are defined for unweighted graphs, and everything in
+the hot path (net construction, label materialization) is BFS over
+adjacency lists, so the representation is deliberately minimal: vertices
+are ``0..n-1`` and adjacency is a list of lists.  The *port* of an edge
+``(u, v)`` at ``u`` is the index of ``v`` in ``u``'s adjacency list; the
+routing scheme (Theorem 2.7) stores ports, matching the standard
+compact-routing model where a router only knows its interfaces.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.exceptions import GraphError
+
+
+class Graph:
+    """Undirected unweighted multigraph-free graph on vertices ``0..n-1``.
+
+    Example
+    -------
+    >>> g = Graph(3)
+    >>> g.add_edge(0, 1)
+    >>> g.add_edge(1, 2)
+    >>> sorted(g.neighbors(1))
+    [0, 2]
+    >>> g.num_edges
+    2
+    """
+
+    __slots__ = ("_adj", "_num_edges")
+
+    def __init__(self, num_vertices: int) -> None:
+        if num_vertices < 0:
+            raise GraphError(f"number of vertices must be >= 0, got {num_vertices}")
+        self._adj: list[list[int]] = [[] for _ in range(num_vertices)]
+        self._num_edges = 0
+
+    # -- construction -----------------------------------------------------
+
+    def add_edge(self, u: int, v: int) -> None:
+        """Insert the undirected edge ``(u, v)``.
+
+        Self-loops and duplicate edges are rejected: neither occurs in the
+        paper's model and both would corrupt port numbering.
+        """
+        self._check_vertex(u)
+        self._check_vertex(v)
+        if u == v:
+            raise GraphError(f"self-loop at vertex {u}")
+        if v in self._adj[u]:
+            raise GraphError(f"duplicate edge ({u}, {v})")
+        self._adj[u].append(v)
+        self._adj[v].append(u)
+        self._num_edges += 1
+
+    def add_edges(self, edges: Iterable[tuple[int, int]]) -> None:
+        """Insert every edge from an iterable of pairs."""
+        for u, v in edges:
+            self.add_edge(u, v)
+
+    # -- inspection -------------------------------------------------------
+
+    @property
+    def num_vertices(self) -> int:
+        """Number of vertices ``n``."""
+        return len(self._adj)
+
+    @property
+    def num_edges(self) -> int:
+        """Number of undirected edges ``m``."""
+        return self._num_edges
+
+    def __len__(self) -> int:
+        return len(self._adj)
+
+    def vertices(self) -> range:
+        """All vertex ids."""
+        return range(len(self._adj))
+
+    def neighbors(self, u: int) -> list[int]:
+        """Adjacency list of ``u`` (callers must not mutate it)."""
+        self._check_vertex(u)
+        return self._adj[u]
+
+    def degree(self, u: int) -> int:
+        """Degree of ``u``."""
+        self._check_vertex(u)
+        return len(self._adj[u])
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """Whether the undirected edge ``(u, v)`` is present."""
+        self._check_vertex(u)
+        self._check_vertex(v)
+        # scan the shorter adjacency list
+        if len(self._adj[u]) > len(self._adj[v]):
+            u, v = v, u
+        return v in self._adj[u]
+
+    def edges(self) -> Iterator[tuple[int, int]]:
+        """Iterate each undirected edge once, as ``(min, max)`` pairs."""
+        for u, nbrs in enumerate(self._adj):
+            for v in nbrs:
+                if u < v:
+                    yield (u, v)
+
+    # -- ports (compact-routing interface model) ---------------------------
+
+    def port_to(self, u: int, v: int) -> int:
+        """Index of ``v`` in ``u``'s adjacency list (the out-port)."""
+        self._check_vertex(u)
+        try:
+            return self._adj[u].index(v)
+        except ValueError:
+            raise GraphError(f"no edge ({u}, {v})") from None
+
+    def neighbor_by_port(self, u: int, port: int) -> int:
+        """The neighbor reached from ``u`` through out-port ``port``."""
+        self._check_vertex(u)
+        if not 0 <= port < len(self._adj[u]):
+            raise GraphError(f"vertex {u} has no port {port}")
+        return self._adj[u][port]
+
+    # -- misc ---------------------------------------------------------------
+
+    def copy(self) -> "Graph":
+        """An independent copy of the graph."""
+        g = Graph(self.num_vertices)
+        g._adj = [list(nbrs) for nbrs in self._adj]
+        g._num_edges = self._num_edges
+        return g
+
+    def subgraph_without(
+        self,
+        removed_vertices: Iterable[int] = (),
+        removed_edges: Iterable[tuple[int, int]] = (),
+    ) -> "Graph":
+        """The graph ``G \\ F`` on the *same* vertex ids.
+
+        Removed vertices stay present as isolated vertices so ids are
+        stable; this matches how the paper treats ``G \\ F``.
+        """
+        gone_v = set(removed_vertices)
+        gone_e = set()
+        for a, b in removed_edges:
+            gone_e.add((min(a, b), max(a, b)))
+        g = Graph(self.num_vertices)
+        for u, v in self.edges():
+            if u in gone_v or v in gone_v or (u, v) in gone_e:
+                continue
+            g.add_edge(u, v)
+        return g
+
+    def __repr__(self) -> str:
+        return f"Graph(n={self.num_vertices}, m={self.num_edges})"
+
+    def _check_vertex(self, u: int) -> None:
+        if not 0 <= u < len(self._adj):
+            raise GraphError(f"vertex {u} out of range [0, {len(self._adj)})")

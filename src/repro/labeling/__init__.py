@@ -1,0 +1,39 @@
+"""Distance labeling schemes — the paper's core contribution.
+
+* :class:`FailureFreeLabeling` — the Section 2.1 "overview" scheme: a
+  ``(1+ε)``-approximate distance labeling with no fault tolerance.
+* :class:`ForbiddenSetLabeling` — the main result (Theorem 2.1): a
+  forbidden-set ``(1+ε)``-approximate distance labeling scheme.
+"""
+
+from repro.labeling.failure_free import FailureFreeLabeling
+from repro.labeling.label import LevelLabel, VertexLabel
+from repro.labeling.params import ParamSchedule
+from repro.labeling.scheme import ForbiddenSetLabeling, LabelingOptions
+from repro.labeling.decoder import (
+    FaultSet,
+    QueryResult,
+    build_sketch_graph,
+    decode_distance,
+)
+from repro.labeling.encoding import decode_label, encode_label, encoded_bit_length
+from repro.labeling.weighted import WeightedForbiddenSetLabeling
+from repro.labeling.session import FaultScopedSession
+
+__all__ = [
+    "FaultScopedSession",
+    "WeightedForbiddenSetLabeling",
+    "FailureFreeLabeling",
+    "FaultSet",
+    "ForbiddenSetLabeling",
+    "LabelingOptions",
+    "LevelLabel",
+    "ParamSchedule",
+    "QueryResult",
+    "VertexLabel",
+    "build_sketch_graph",
+    "decode_distance",
+    "decode_label",
+    "encode_label",
+    "encoded_bit_length",
+]

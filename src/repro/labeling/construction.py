@@ -1,0 +1,158 @@
+"""Construction of forbidden-set labels (Theorem 2.1, "Labels" paragraph).
+
+The builder precomputes, once per level ``i ∈ I``, the *net adjacency*:
+for every net-point ``p ∈ N_{i-c-1}``, the distances to all other
+net-points of the same net within ``λ_i`` (one bounded BFS per net-point).
+A vertex label is then materialized with one bounded BFS per level from
+the vertex itself (radius ``r_i``), which finds the sketch vertices
+``N_{i-c-1} ∩ B(v, r_i)`` with their distances; the stored virtual edges
+are read off the net adjacency restricted to those points.
+
+This lazy materialization keeps memory proportional to the *global*
+structures rather than ``n`` full labels, while each produced
+:class:`~repro.labeling.label.VertexLabel` remains self-contained — the
+decoder never touches the graph or the builder.
+
+Low-level option (ablation E11): at the lowest level ``c+1`` the net is
+``N_0 = V(G)``, so the faithful "all pairs within λ" rule stores
+``Θ(ball²)`` edges per label.  With ``low_level="unit"`` only the
+length-1 virtual edges (the actual graph edges inside the ball) are kept;
+the proof of Claim 2 shows the surviving unit-edge paths provide the same
+guarantees, and experiment E11 measures the size difference.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.exceptions import LabelingError
+from repro.graphs.fastbfs import BfsScratch
+from repro.graphs.graph import Graph
+from repro.labeling.label import LevelLabel, VertexLabel
+from repro.labeling.params import ParamSchedule
+from repro.nets.hierarchy import NetHierarchy
+
+
+@dataclass(frozen=True)
+class LabelingOptions:
+    """Tunable construction options.
+
+    Attributes
+    ----------
+    low_level:
+        ``"full"`` (paper-faithful: all pairs within ``λ_{c+1}`` at the
+        lowest level) or ``"unit"`` (only the length-1 edges; smaller
+        labels, same guarantees — see module docstring).
+    """
+
+    low_level: str = "full"
+
+    def __post_init__(self) -> None:
+        if self.low_level not in ("full", "unit"):
+            raise LabelingError(
+                f"low_level must be 'full' or 'unit', got {self.low_level!r}"
+            )
+
+
+class LabelBuilder:
+    """Builds :class:`VertexLabel` objects for one graph and one ε."""
+
+    def __init__(
+        self,
+        graph: Graph,
+        epsilon: float,
+        options: LabelingOptions | None = None,
+        hierarchy: NetHierarchy | None = None,
+    ) -> None:
+        if graph.num_vertices == 0:
+            raise LabelingError("graph must have at least one vertex")
+        self._graph = graph
+        self.options = options or LabelingOptions()
+        self.params = ParamSchedule.for_graph(epsilon, graph.num_vertices)
+        self.params.validate()
+        net_top_needed = self.params.net_level(self.params.top_level)
+        n = graph.num_vertices
+        log_n = max(1, math.ceil(math.log2(n))) if n > 1 else 1
+        if hierarchy is None:
+            hierarchy = NetHierarchy(graph, top_level=max(net_top_needed, log_n))
+        elif hierarchy.top_level < net_top_needed:
+            raise LabelingError("provided hierarchy has too few levels")
+        self.hierarchy = hierarchy
+        self._scratch = BfsScratch(graph)
+        # per level i: {p: {q: d_G(p,q)}} for net-points p, q of N_{i-c-1}
+        # with d_G(p,q) <= lam_i   (q != p)
+        self._net_adjacency: dict[int, dict[int, dict[int, int]]] = {}
+        for i in self.params.levels():
+            self._net_adjacency[i] = self._build_net_adjacency(i)
+
+    # -- global structures --------------------------------------------------
+
+    def _build_net_adjacency(self, i: int) -> dict[int, dict[int, int]]:
+        net = self.hierarchy.net(self.params.net_level(i))
+        lam = self.params.lam(i)
+        unit_only = i == self.params.c + 1 and self.options.low_level == "unit"
+        adjacency: dict[int, dict[int, int]] = {}
+        for p in net:
+            if unit_only:
+                # N_0 = V(G): length-1 virtual edges are the graph edges
+                adjacency[p] = {q: 1 for q in self._graph.neighbors(p)}
+                continue
+            adjacency[p] = {
+                q: d
+                for q, d in self._scratch.items(p, radius=lam)
+                if q != p and q in net
+            }
+        return adjacency
+
+    # -- label materialization -------------------------------------------------
+
+    def build_label(self, vertex: int) -> VertexLabel:
+        """Materialize the complete label ``L(vertex)``."""
+        if not 0 <= vertex < self._graph.num_vertices:
+            raise LabelingError(f"vertex {vertex} out of range")
+        params = self.params
+        label = VertexLabel(
+            vertex=vertex,
+            epsilon=params.epsilon,
+            c=params.c,
+            top_level=params.top_level,
+        )
+        for i in params.levels():
+            label.levels[i] = self._build_level(vertex, i)
+        return label
+
+    def _build_level(self, vertex: int, i: int) -> LevelLabel:
+        params = self.params
+        net = self.hierarchy.net(params.net_level(i))
+        lam = params.lam(i)
+        points = self._scratch.restricted(vertex, params.r(i), net)
+        points[vertex] = 0  # v is always a sketch vertex of H_i(v)
+        edges: dict[tuple[int, int], int] = {}
+        adjacency = self._net_adjacency[i]
+        for p in points:
+            nbrs = adjacency.get(p)
+            if not nbrs:
+                continue
+            for q, weight in nbrs.items():
+                if q > p and q in points:
+                    edges[(p, q)] = weight
+        # edges between v and the net-points (construction text: "and also
+        # between v and the net-points"); if v is itself a net-point these
+        # are already present with identical weights
+        for p, dist in points.items():
+            if p != vertex and dist <= lam:
+                key = (vertex, p) if vertex < p else (p, vertex)
+                edges.setdefault(key, dist)
+        # at the lowest level, record the actual graph edges inside the
+        # ball ("L(v) stores all edges in the original graph G that are in
+        # B_{c+1}(v)") — these back the decoder's unit-edge clause
+        graph_edges: dict[tuple[int, int], int] = {}
+        if i == params.c + 1:
+            for p in points:
+                for q in self._graph.neighbors(p):
+                    if q > p and q in points:
+                        graph_edges[(p, q)] = 1
+        return LevelLabel(
+            level=i, points=points, edges=edges, graph_edges=graph_edges
+        )

@@ -1,0 +1,289 @@
+"""Query decoder: assemble the sketch graph ``H`` and run Dijkstra.
+
+Implements the "Distance Queries" paragraph of Section 2.1.  Given the
+labels of ``s``, ``t`` and the forbidden set ``F`` (vertex labels, and
+label *pairs* for forbidden edges), the decoder:
+
+1. collects every virtual edge stored in every supplied label;
+2. keeps the *safe* ones — a level-``i`` edge is dropped when it lies
+   inside a protected ball ``PB_i(f) = B(f, λ_i)`` of some fault;
+3. re-adds the surviving **unit** edges of the lowest level whose
+   endpoints (and the edge itself) are not forbidden;
+4. runs Dijkstra from ``s`` to ``t`` on the resulting graph ``H``.
+
+The decoder consumes labels only — it has no access to the input graph.
+
+Safety rules (Lemma 2.3, extended to edge faults):
+
+* **net–net edge** ``(x, y)``: dropped iff for some fault both endpoints
+  are inside the *same* protected ball — for a faulty vertex ``f``, both
+  in ``PB_i(f)``; for a faulty edge ``(a, b)``, one endpoint in
+  ``PB_i(a)`` and the other in ``PB_i(b)`` (a path of length ``≤ λ_i``
+  crossing the edge forces exactly that pattern).
+* **owner edge** ``(v, z)`` with ``v ∈ {s, t}`` not a net-point of the
+  level: protected-ball membership of ``v`` cannot be decided from the
+  labels (fault labels only store net-points), so the rule is
+  conservative: the edge is dropped whenever the net endpoint ``z`` alone
+  is inside a fault's protected ball (both balls, for a faulty edge).
+  A path ``v → z`` of length ``≤ λ_i`` through a fault always puts ``z``
+  inside the relevant ball, so this is safe; and every owner edge used by
+  the stretch proof has ``d(z, F) > λ_i``, so none of them is lost —
+  the ``1+ε`` guarantee is unaffected.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.exceptions import QueryError
+from repro.graphs.traversal import dijkstra_with_paths
+from repro.labeling.label import VertexLabel
+
+
+@dataclass(frozen=True)
+class QueryResult:
+    """Outcome of one forbidden-set distance query.
+
+    ``distance`` is the ``(1+ε)``-approximate value of
+    ``d_{G\\F}(s, t)`` (``math.inf`` when disconnected); ``path`` is the
+    corresponding sketch path — a sequence of original vertex ids whose
+    consecutive pairs are virtual edges of ``H`` (used by the routing
+    scheme as waypoints).  ``sketch_vertices``/``sketch_edges`` report
+    the size of ``H`` for the query-cost experiments.
+    """
+
+    distance: float
+    path: tuple[int, ...]
+    sketch_vertices: int
+    sketch_edges: int
+
+
+@dataclass
+class _ProtectedBalls:
+    """Per-fault, per-level protected-ball membership test.
+
+    ``centers`` holds one label per ball center: one for a faulty vertex,
+    the two endpoint labels for a faulty edge.
+    """
+
+    centers: tuple[VertexLabel, ...]
+    is_edge_fault: bool = False
+
+    def membership(self, level: int, lam: int) -> list[dict[int, int]]:
+        """For each center, ``{x: d(center, x)}`` restricted to the ball."""
+        result = []
+        for center in self.centers:
+            level_label = center.levels.get(level)
+            if level_label is None:
+                result.append({})
+                continue
+            result.append(
+                {x: d for x, d in level_label.points.items() if d <= lam}
+            )
+        return result
+
+
+@dataclass
+class FaultSet:
+    """The forbidden set of a query, given as labels (the oracle model).
+
+    ``vertex_labels`` are the labels of forbidden vertices;
+    ``edge_labels`` are ``(L(a), L(b))`` pairs for forbidden edges, as in
+    the paper ("the label of an edge (a, b) of F is specified by the pair
+    (L(a), L(b))").
+    """
+
+    vertex_labels: list[VertexLabel] = field(default_factory=list)
+    edge_labels: list[tuple[VertexLabel, VertexLabel]] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.vertex_labels) + len(self.edge_labels)
+
+    def forbidden_vertices(self) -> set[int]:
+        """Ids of forbidden vertices."""
+        return {label.vertex for label in self.vertex_labels}
+
+    def forbidden_edges(self) -> set[tuple[int, int]]:
+        """Ids of forbidden edges, normalized ``(min, max)``."""
+        out = set()
+        for label_a, label_b in self.edge_labels:
+            a, b = label_a.vertex, label_b.vertex
+            out.add((min(a, b), max(a, b)))
+        return out
+
+    def all_labels(self) -> list[VertexLabel]:
+        """Every label carried by the fault set."""
+        labels = list(self.vertex_labels)
+        for label_a, label_b in self.edge_labels:
+            labels.append(label_a)
+            labels.append(label_b)
+        return labels
+
+
+def build_sketch_graph(
+    label_s: VertexLabel,
+    label_t: VertexLabel,
+    faults: FaultSet | None = None,
+) -> dict[int, list[tuple[int, int]]]:
+    """Assemble the sketch graph ``H = H(s, t, F)`` from labels alone.
+
+    Returns an adjacency mapping ``x -> [(y, weight), …]`` over original
+    vertex ids.
+    """
+    faults = faults or FaultSet()
+    _check_compatible([label_s, label_t] + faults.all_labels())
+
+    c = label_s.c
+    lowest = c + 1
+    forbidden_vertices = faults.forbidden_vertices()
+    forbidden_edges = faults.forbidden_edges()
+    if label_s.vertex in forbidden_vertices or label_t.vertex in forbidden_vertices:
+        raise QueryError("query endpoint is inside the forbidden set")
+
+    ball_groups = [
+        _ProtectedBalls(centers=(label,)) for label in faults.vertex_labels
+    ] + [
+        _ProtectedBalls(centers=(label_a, label_b), is_edge_fault=True)
+        for label_a, label_b in faults.edge_labels
+    ]
+
+    source_labels = [label_s, label_t] + faults.all_labels()
+    # deduplicate labels of repeated vertices (e.g. two faulty edges
+    # sharing an endpoint)
+    unique_labels = list({label.vertex: label for label in source_labels}.values())
+
+    # protected-ball memberships depend only on (level, fault), not on the
+    # label being scanned: compute each once
+    membership_cache: dict[int, list[list[dict[int, int]]]] = {}
+
+    def memberships_for(i: int, lam: int) -> list[list[dict[int, int]]]:
+        cached = membership_cache.get(i)
+        if cached is None:
+            cached = [group.membership(i, lam) for group in ball_groups]
+            membership_cache[i] = cached
+        return cached
+
+    edge_weights: dict[tuple[int, int], int] = {}
+    for label in source_labels:
+        levels = sorted(label.levels)
+        for i in levels:
+            level_label = label.levels[i]
+            lam = 1 << (i + 1)
+            memberships = memberships_for(i, lam)
+            owner = label.vertex
+            owner_is_net = i == lowest  # at the lowest level N_0 = V(G)
+            # graph-edge clause: actual graph edges survive next to faults
+            # as long as they are not themselves forbidden
+            for (x, y), weight in level_label.graph_edges.items():
+                if (
+                    x not in forbidden_vertices
+                    and y not in forbidden_vertices
+                    and (x, y) not in forbidden_edges
+                ):
+                    prev = edge_weights.get((x, y))
+                    if prev is None or weight < prev:
+                        edge_weights[(x, y)] = weight
+            for (x, y), weight in level_label.edges.items():
+                x_checkable = owner_is_net or x != owner
+                y_checkable = owner_is_net or y != owner
+                if _edge_is_safe(
+                    x, y, x_checkable, y_checkable, memberships, ball_groups
+                ):
+                    prev = edge_weights.get((x, y))
+                    if prev is None or weight < prev:
+                        edge_weights[(x, y)] = weight
+
+    adjacency: dict[int, list[tuple[int, int]]] = {
+        label.vertex: [] for label in unique_labels
+    }
+    for (x, y), weight in edge_weights.items():
+        adjacency.setdefault(x, []).append((y, weight))
+        adjacency.setdefault(y, []).append((x, weight))
+    return adjacency
+
+
+def _edge_is_safe(
+    x: int,
+    y: int,
+    x_checkable: bool,
+    y_checkable: bool,
+    memberships: list[list[dict[int, int]]],
+    ball_groups: list[_ProtectedBalls],
+) -> bool:
+    """Apply the protected-ball safety rules described in the module docstring."""
+    for group, balls in zip(ball_groups, memberships):
+        if not group.is_edge_fault:
+            ball = balls[0]
+            x_in = x_checkable and x in ball
+            y_in = y_checkable and y in ball
+            if x_checkable and y_checkable:
+                if x_in and y_in:
+                    return False
+            else:
+                # conservative owner-edge rule: the net endpoint alone decides
+                net_in = x_in if x_checkable else y_in
+                if net_in:
+                    return False
+        else:
+            ball_a, ball_b = balls
+            if x_checkable and y_checkable:
+                crossing = (x in ball_a and y in ball_b) or (
+                    x in ball_b and y in ball_a
+                )
+                if crossing:
+                    return False
+            else:
+                net = x if x_checkable else y
+                if net in ball_a and net in ball_b:
+                    return False
+    return True
+
+
+def decode_distance(
+    label_s: VertexLabel,
+    label_t: VertexLabel,
+    faults: FaultSet | None = None,
+) -> QueryResult:
+    """Answer a forbidden-set distance query from labels alone.
+
+    Returns a :class:`QueryResult` whose ``distance`` satisfies
+    ``d_{G\\F}(s,t) ≤ distance ≤ (1+ε)·d_{G\\F}(s,t)``
+    (``math.inf`` when ``s`` and ``t`` are disconnected in ``G\\F``).
+    """
+    faults = faults or FaultSet()
+    if label_s.vertex == label_t.vertex:
+        if label_s.vertex in faults.forbidden_vertices():
+            raise QueryError("query endpoint is inside the forbidden set")
+        return QueryResult(
+            distance=0, path=(label_s.vertex,), sketch_vertices=0, sketch_edges=0
+        )
+    adjacency = build_sketch_graph(label_s, label_t, faults)
+    num_edges = sum(len(nbrs) for nbrs in adjacency.values()) // 2
+    distance, path = dijkstra_with_paths(
+        adjacency, label_s.vertex, label_t.vertex
+    )
+    if math.isinf(distance):
+        return QueryResult(
+            distance=math.inf,
+            path=(),
+            sketch_vertices=len(adjacency),
+            sketch_edges=num_edges,
+        )
+    return QueryResult(
+        distance=int(distance),
+        path=tuple(path),
+        sketch_vertices=len(adjacency),
+        sketch_edges=num_edges,
+    )
+
+
+def _check_compatible(labels: list[VertexLabel]) -> None:
+    reference = labels[0]
+    for label in labels[1:]:
+        if (label.c, label.top_level) != (reference.c, reference.top_level):
+            raise QueryError(
+                "labels come from different schemes: "
+                f"(c={label.c}, top={label.top_level}) vs "
+                f"(c={reference.c}, top={reference.top_level})"
+            )

@@ -1,0 +1,117 @@
+"""The paper's parameter schedule (Section 2.1, "The Case of Non-Empty
+Forbidden-Set").
+
+Given a precision ``ε > 0``, the constant ``c = max(⌈log₂(6/ε)⌉, 2)``
+drives, for every level ``i ∈ I = {c+1, …, top}``:
+
+* ``ρ_i = 2^{i-c}``   — domination radius of the net ``N_{i-c}``;
+* ``λ_i = 2^{i+1}``   — maximum length of virtual edges stored at level i,
+  and the radius of the protected balls ``PB_i(f) = B(f, λ_i)``;
+* ``μ_i = ρ_i + λ_i`` — the fault-distance threshold selecting levels;
+* ``r_i = μ_{i+1} + 2^i + ρ_{i+1}`` — the label's ball radius at level i.
+
+Claim 1(a) — ``λ_i ≥ ρ_i + ρ_{i+1} + 2^i`` — holds for every ``c ≥ 2``
+and is re-checked by :meth:`ParamSchedule.validate` (and by tests).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.exceptions import LabelingError
+
+
+def c_for_epsilon(epsilon: float) -> int:
+    """The constant ``c(ε) = max(⌈log₂(6/ε)⌉, 2)`` of Lemma 2.4."""
+    if epsilon <= 0:
+        raise LabelingError(f"epsilon must be positive, got {epsilon}")
+    return max(math.ceil(math.log2(6.0 / epsilon)), 2)
+
+
+@dataclass(frozen=True)
+class ParamSchedule:
+    """Radii schedule for one ``(ε, n)`` instance.
+
+    ``top_level`` is ``max(⌈log₂ n⌉, c + 2)``: the paper assumes
+    ``⌈log n⌉ > c``; when it is not (tiny graphs, tiny ε) we extend the
+    hierarchy upward so the level range ``I`` is never empty — the extra
+    levels are sound (their balls simply cover the whole graph).
+
+    Example
+    -------
+    >>> sched = ParamSchedule.for_graph(epsilon=1.0, num_vertices=256)
+    >>> sched.c
+    3
+    >>> sched.levels()
+    range(4, 9)
+    >>> sched.lam(4), sched.rho(4), sched.mu(4), sched.r(4)
+    (32, 2, 34, 88)
+    """
+
+    epsilon: float
+    c: int
+    top_level: int
+
+    @classmethod
+    def for_graph(cls, epsilon: float, num_vertices: int) -> "ParamSchedule":
+        """Schedule for an ``n``-vertex graph at precision ``ε``."""
+        if num_vertices < 1:
+            raise LabelingError("graph must have at least one vertex")
+        c = c_for_epsilon(epsilon)
+        log_n = max(1, math.ceil(math.log2(num_vertices))) if num_vertices > 1 else 1
+        return cls(epsilon=epsilon, c=c, top_level=max(log_n, c + 2))
+
+    # -- schedule -----------------------------------------------------------
+
+    def levels(self) -> range:
+        """The level range ``I = {c+1, …, top_level}``."""
+        return range(self.c + 1, self.top_level + 1)
+
+    def net_level(self, i: int) -> int:
+        """Net index used at level ``i``: points are drawn from ``N_{i-c-1}``."""
+        self._check_level(i)
+        return i - self.c - 1
+
+    def rho(self, i: int) -> int:
+        """``ρ_i = 2^{i-c}`` (defined for ``i >= c``)."""
+        return 1 << (i - self.c)
+
+    def lam(self, i: int) -> int:
+        """``λ_i = 2^{i+1}`` — virtual-edge length cap / protected-ball radius."""
+        return 1 << (i + 1)
+
+    def mu(self, i: int) -> int:
+        """``μ_i = ρ_i + λ_i`` — fault-distance threshold."""
+        return self.rho(i) + self.lam(i)
+
+    def r(self, i: int) -> int:
+        """``r_i = μ_{i+1} + 2^i + ρ_{i+1}`` — label ball radius at level i."""
+        return self.mu(i + 1) + (1 << i) + self.rho(i + 1)
+
+    # -- sanity ---------------------------------------------------------------
+
+    def validate(self) -> None:
+        """Re-check Claim 1(a) and the Lemma 2.5 inequality ``r_i < 2^{i+3}``."""
+        if self.c < 2:
+            raise LabelingError(f"c must be >= 2, got {self.c}")
+        for i in self.levels():
+            if self.lam(i) < self.rho(i) + self.rho(i + 1) + (1 << i):
+                raise LabelingError(f"Claim 1(a) violated at level {i}")
+            if self.r(i) >= (1 << (i + 3)):
+                raise LabelingError(f"r_{i} >= 2^{i + 3}, Lemma 2.5 bound violated")
+
+    def stretch_bound(self) -> float:
+        """The guaranteed stretch ``1 + ε`` (using the ε the schedule honors).
+
+        The schedule guarantees stretch ``1 + 6/2^c``, which is at most
+        ``1 + ε`` by the choice of ``c``; the returned value is the tighter
+        of the two.
+        """
+        return 1.0 + min(self.epsilon, 6.0 / (1 << self.c))
+
+    def _check_level(self, i: int) -> None:
+        if i not in self.levels():
+            raise LabelingError(
+                f"level {i} outside I = [{self.c + 1}, {self.top_level}]"
+            )

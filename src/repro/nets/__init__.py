@@ -1,0 +1,21 @@
+"""Net hierarchy substrate (Fact 1 and Lemma 2.2 of the paper)."""
+
+from repro.nets.dominating import (
+    greedy_dominating_set,
+    is_r_dominating,
+    min_pairwise_distance_at_least,
+)
+from repro.nets.hierarchy import NetHierarchy
+from repro.nets.weighted_hierarchy import (
+    WeightedNetHierarchy,
+    weighted_greedy_dominating_set,
+)
+
+__all__ = [
+    "NetHierarchy",
+    "WeightedNetHierarchy",
+    "greedy_dominating_set",
+    "is_r_dominating",
+    "min_pairwise_distance_at_least",
+    "weighted_greedy_dominating_set",
+]

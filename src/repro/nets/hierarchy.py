@@ -1,0 +1,146 @@
+"""The hierarchy of nets ``N_0 ⊇ N_1 ⊇ … ⊇ N_L`` (paper, Section 2.1).
+
+Properties guaranteed (and validated by :meth:`NetHierarchy.validate`):
+
+1. ``N_i`` is a ``(2^i - 1)``-dominating set of ``G``;
+2. ``N_i ⊆ N_{i-1}`` for every ``i >= 1``;
+3. (Lemma 2.2 packing) ``|B(v, R) ∩ N_i| <= 2 · (4R / 2^i)^α``.
+
+The hierarchy is built as ``N_i = ∪_{j>=i} W(2^j)`` from the greedy
+dominating sets of Fact 1; ``N_0 = W(1) = V(G)``.
+
+``M_i(v)`` — the net-point of ``N_i`` nearest to ``v`` — is computed for
+all vertices at once by one multi-source BFS per level.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+
+from repro.exceptions import GraphError, LabelingError
+from repro.graphs.graph import Graph
+from repro.nets.dominating import greedy_dominating_set, is_r_dominating
+
+
+class NetHierarchy:
+    """Nested nets over a connected unweighted graph.
+
+    Example
+    -------
+    >>> from repro.graphs.generators import path_graph
+    >>> h = NetHierarchy(path_graph(16))
+    >>> h.top_level
+    4
+    >>> h.net(0) == set(range(16))
+    True
+    >>> point, dist = h.nearest_net_point(2, 5)
+    >>> dist <= 3  # N_2 is (2^2 - 1)-dominating
+    True
+    """
+
+    def __init__(self, graph: Graph, top_level: int | None = None) -> None:
+        if graph.num_vertices == 0:
+            raise GraphError("cannot build a net hierarchy on an empty graph")
+        self._graph = graph
+        n = graph.num_vertices
+        natural_top = max(1, math.ceil(math.log2(n))) if n > 1 else 1
+        if top_level is None:
+            self._top = natural_top
+        elif top_level < natural_top:
+            raise GraphError(
+                f"top_level {top_level} below the natural ceil(log2 n) = {natural_top}"
+            )
+        else:
+            # higher levels are allowed (the labeling scheme needs them when
+            # c(eps) exceeds log n); the extra nets quickly collapse to a
+            # single point per component
+            self._top = top_level
+        # greedy W(2^j) for every scale j
+        scales = [greedy_dominating_set(graph, 1 << j) for j in range(self._top + 1)]
+        # N_i = union of W(2^j) for j >= i  (property (2) holds by construction)
+        self._nets: list[set[int]] = [set() for _ in range(self._top + 1)]
+        running: set[int] = set()
+        for j in range(self._top, -1, -1):
+            running |= scales[j]
+            self._nets[j] = set(running)
+        # nearest net point per level, via multi-source BFS
+        self._nearest: list[dict[int, tuple[int, int]]] = [
+            _nearest_net_points(graph, net) for net in self._nets
+        ]
+
+    # -- basic accessors ----------------------------------------------------
+
+    @property
+    def graph(self) -> Graph:
+        """The underlying graph."""
+        return self._graph
+
+    @property
+    def top_level(self) -> int:
+        """Largest level ``L = ⌈log2 n⌉`` (at least 1)."""
+        return self._top
+
+    def net(self, level: int) -> set[int]:
+        """The net ``N_level`` (clamped: levels above the top return the top net)."""
+        self._check_level(level)
+        return self._nets[level]
+
+    def nearest_net_point(self, level: int, vertex: int) -> tuple[int, int]:
+        """``(M_i(v), d_G(v, M_i(v)))`` for ``i = level``.
+
+        The distance is < ``2^level`` by the dominating property.
+        """
+        self._check_level(level)
+        try:
+            return self._nearest[level][vertex]
+        except KeyError:
+            raise LabelingError(
+                f"vertex {vertex} unreachable from net level {level} "
+                "(is the graph connected?)"
+            ) from None
+
+    def net_sizes(self) -> list[int]:
+        """``[|N_0|, |N_1|, …, |N_L|]``."""
+        return [len(net) for net in self._nets]
+
+    # -- validation -----------------------------------------------------------
+
+    def validate(self) -> None:
+        """Assert properties (1) and (2); raises ``LabelingError`` on failure.
+
+        Intended for tests and debugging (it runs |levels| multi-source
+        BFS passes).
+        """
+        if self._nets[0] != set(self._graph.vertices()):
+            raise LabelingError("N_0 must equal V(G)")
+        for level in range(1, self._top + 1):
+            if not self._nets[level] <= self._nets[level - 1]:
+                raise LabelingError(f"N_{level} is not a subset of N_{level - 1}")
+            radius = (1 << level) - 1
+            if not is_r_dominating(self._graph, self._nets[level], radius):
+                raise LabelingError(f"N_{level} is not ({radius})-dominating")
+
+    def _check_level(self, level: int) -> None:
+        if not 0 <= level <= self._top:
+            raise LabelingError(
+                f"net level {level} out of range [0, {self._top}]"
+            )
+
+
+def _nearest_net_points(graph: Graph, net: set[int]) -> dict[int, tuple[int, int]]:
+    """For every vertex reachable from ``net``, the (a) nearest net point.
+
+    One multi-source BFS; ties broken by the BFS visit order with sources
+    scanned in increasing id, so the assignment is deterministic.
+    """
+    result: dict[int, tuple[int, int]] = {s: (s, 0) for s in net}
+    frontier = deque(sorted(net))
+    while frontier:
+        u = frontier.popleft()
+        point, du = result[u]
+        for v in graph.neighbors(u):
+            if v not in result:
+                result[v] = (point, du + 1)
+                frontier.append(v)
+    return result

@@ -1,0 +1,125 @@
+"""Net hierarchy for weighted graphs (Fact 1, weighted statement).
+
+The greedy construction of Fact 1 works verbatim on weighted graphs: it
+yields an ``r``-dominating set whose members are pairwise more than
+``r`` apart (the ``(r-1)``-domination refinement is unweighted-only).
+The hierarchy therefore guarantees ``d(v, N_i) <= 2^i`` instead of the
+unweighted ``< 2^i``; :mod:`repro.labeling.weighted` absorbs the one-off
+slack in its parameter schedule.
+
+Levels run up to ``⌈log₂ D⌉`` where ``D`` bounds the weighted diameter.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import GraphError, LabelingError
+from repro.graphs.weighted import (
+    WeightedGraph,
+    log2_ceil,
+    multi_source_weighted_distances,
+    weighted_distances,
+)
+
+
+def weighted_greedy_dominating_set(graph: WeightedGraph, r: int) -> set[int]:
+    """Greedy ``W(r)`` of Fact 1 on a weighted graph.
+
+    Scans vertices in increasing id; a selected vertex covers everything
+    at distance ``< r``.  The result is ``r``-dominating with pairwise
+    distances ``>= r``.
+    """
+    if r < 1:
+        raise GraphError(f"dominating radius must be >= 1, got {r}")
+    covered = [False] * graph.num_vertices
+    selected: set[int] = set()
+    for v in graph.vertices():
+        if covered[v]:
+            continue
+        selected.add(v)
+        for u, dist in weighted_distances(graph, v, radius=r - 1).items():
+            if dist < r:
+                covered[u] = True
+    return selected
+
+
+class WeightedNetHierarchy:
+    """Nested nets over a weighted graph, with nearest-point maps.
+
+    ``N_i`` is ``2^i``-dominating and ``N_i ⊆ N_{i-1}``; validated by
+    :meth:`validate`.
+    """
+
+    def __init__(self, graph: WeightedGraph, top_level: int | None = None) -> None:
+        if graph.num_vertices == 0:
+            raise GraphError("cannot build a net hierarchy on an empty graph")
+        self._graph = graph
+        natural_top = max(1, log2_ceil(max(2, graph.distance_upper_bound())))
+        if top_level is None:
+            self._top = natural_top
+        elif top_level < natural_top:
+            raise GraphError(
+                f"top_level {top_level} below ceil(log2 diameter-bound) = "
+                f"{natural_top}"
+            )
+        else:
+            self._top = top_level
+        scales = [
+            weighted_greedy_dominating_set(graph, 1 << j)
+            for j in range(self._top + 1)
+        ]
+        self._nets: list[set[int]] = [set() for _ in range(self._top + 1)]
+        running: set[int] = set()
+        for j in range(self._top, -1, -1):
+            running |= scales[j]
+            self._nets[j] = set(running)
+        self._nearest = [
+            multi_source_weighted_distances(graph, net) for net in self._nets
+        ]
+
+    @property
+    def graph(self) -> WeightedGraph:
+        """The underlying weighted graph."""
+        return self._graph
+
+    @property
+    def top_level(self) -> int:
+        """Largest level of the hierarchy."""
+        return self._top
+
+    def net(self, level: int) -> set[int]:
+        """The net ``N_level``."""
+        self._check_level(level)
+        return self._nets[level]
+
+    def nearest_net_point(self, level: int, vertex: int) -> tuple[int, int]:
+        """``(M_i(v), d(v, M_i(v)))``; the distance is ``<= 2^level``."""
+        self._check_level(level)
+        try:
+            return self._nearest[level][vertex]
+        except KeyError:
+            raise LabelingError(
+                f"vertex {vertex} unreachable from net level {level}"
+            ) from None
+
+    def net_sizes(self) -> list[int]:
+        """``[|N_0|, …, |N_top|]``."""
+        return [len(net) for net in self._nets]
+
+    def validate(self) -> None:
+        """Assert nesting and the 2^i-domination property."""
+        if self._nets[0] != set(self._graph.vertices()):
+            # W(1) covers only vertices at distance < 1, i.e. themselves
+            raise LabelingError("N_0 must equal V(G)")
+        for level in range(1, self._top + 1):
+            if not self._nets[level] <= self._nets[level - 1]:
+                raise LabelingError(f"N_{level} not a subset of N_{level - 1}")
+            for vertex, (_, dist) in self._nearest[level].items():
+                if dist > (1 << level):
+                    raise LabelingError(
+                        f"N_{level} leaves vertex {vertex} at distance {dist} "
+                        f"> 2^{level}"
+                    )
+
+    def _check_level(self, level: int) -> None:
+        if not 0 <= level <= self._top:
+            raise LabelingError(f"net level {level} out of range [0, {self._top}]")

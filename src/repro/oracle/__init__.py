@@ -1,0 +1,6 @@
+"""Centralized oracles built from the labels (paper, Preliminaries)."""
+
+from repro.oracle.oracle import ForbiddenSetDistanceOracle
+from repro.oracle.dynamic import DynamicDistanceOracle
+
+__all__ = ["DynamicDistanceOracle", "ForbiddenSetDistanceOracle"]

@@ -1,0 +1,132 @@
+"""Fully dynamic approximate distance oracle.
+
+The paper notes (Related Work) that combining its labels with the
+reduction of Abraham, Chechik and Gavoille [STOC 2012] yields a fully
+dynamic ``(1+ε)`` distance oracle of size ``Õ((1+ε^{-1})^{2α} n)`` with
+``Õ(√n)`` worst-case update/query time.  This module implements that
+reduction in its simple lazy form:
+
+* deletions (of vertices or edges) are buffered into a forbidden set
+  ``F`` — queries run the forbidden-set decoder against the *current*
+  labels, so no rebuilding is needed;
+* re-insertions of previously deleted elements just shrink ``F``;
+* when ``|F|`` exceeds a threshold (default ``√n``, as in the
+  reduction), the labels are rebuilt on the surviving graph and ``F``
+  resets — amortizing rebuild cost against the ``|F|²`` query-time
+  growth.
+
+Insertions of *never-seen* edges are out of scope exactly as in the
+paper's setting (the labeling is for a fixed host graph).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable
+
+from repro.exceptions import QueryError
+from repro.graphs.graph import Graph
+from repro.labeling.construction import LabelingOptions
+from repro.labeling.scheme import ForbiddenSetLabeling
+
+
+class DynamicDistanceOracle:
+    """Lazy fully-dynamic ``(1+ε)`` distance oracle over a host graph."""
+
+    def __init__(
+        self,
+        graph: Graph,
+        epsilon: float,
+        rebuild_threshold: int | None = None,
+        options: LabelingOptions | None = None,
+    ) -> None:
+        self._host = graph
+        self._epsilon = epsilon
+        self._options = options
+        self._threshold = (
+            rebuild_threshold
+            if rebuild_threshold is not None
+            else max(1, int(math.isqrt(graph.num_vertices)))
+        )
+        self._deleted_vertices: set[int] = set()
+        self._deleted_edges: set[tuple[int, int]] = set()
+        self.rebuilds = 0
+        self._scheme = ForbiddenSetLabeling(graph, epsilon, options=options)
+        # deletions already baked into the current labels
+        self._baked_vertices: set[int] = set()
+        self._baked_edges: set[tuple[int, int]] = set()
+
+    # -- updates -----------------------------------------------------------
+
+    def delete_vertex(self, v: int) -> None:
+        """Remove a vertex (its edges become unusable)."""
+        if not 0 <= v < self._host.num_vertices:
+            raise QueryError(f"vertex {v} out of range")
+        self._deleted_vertices.add(v)
+        self._maybe_rebuild()
+
+    def delete_edge(self, u: int, v: int) -> None:
+        """Remove an edge of the host graph."""
+        key = (min(u, v), max(u, v))
+        if not self._host.has_edge(u, v):
+            raise QueryError(f"edge ({u}, {v}) is not in the host graph")
+        self._deleted_edges.add(key)
+        self._maybe_rebuild()
+
+    def restore_vertex(self, v: int) -> None:
+        """Undo a vertex deletion."""
+        self._deleted_vertices.discard(v)
+        if v in self._baked_vertices:
+            self._rebuild()  # the current labels assume v is gone
+
+    def restore_edge(self, u: int, v: int) -> None:
+        """Undo an edge deletion."""
+        key = (min(u, v), max(u, v))
+        self._deleted_edges.discard(key)
+        if key in self._baked_edges:
+            self._rebuild()
+
+    # -- queries -------------------------------------------------------------
+
+    def query(self, s: int, t: int) -> float:
+        """``(1+ε)``-approximate distance in the *current* graph."""
+        if s in self._deleted_vertices or t in self._deleted_vertices:
+            raise QueryError("query endpoint is currently deleted")
+        pending_vertices = self._deleted_vertices - self._baked_vertices
+        # an edge fault incident to a deleted vertex is redundant (and may
+        # no longer exist in the rebuilt survivor graph)
+        pending_edges = {
+            (a, b)
+            for a, b in self._deleted_edges - self._baked_edges
+            if a not in self._deleted_vertices and b not in self._deleted_vertices
+        }
+        return self._scheme.query(
+            s,
+            t,
+            vertex_faults=pending_vertices,
+            edge_faults=pending_edges,
+        ).distance
+
+    def pending_fault_count(self) -> int:
+        """Size of the forbidden set currently carried by queries."""
+        return len(self._deleted_vertices - self._baked_vertices) + len(
+            self._deleted_edges - self._baked_edges
+        )
+
+    # -- rebuild -------------------------------------------------------------
+
+    def _maybe_rebuild(self) -> None:
+        if self.pending_fault_count() > self._threshold:
+            self._rebuild()
+
+    def _rebuild(self) -> None:
+        survivor = self._host.subgraph_without(
+            removed_vertices=self._deleted_vertices,
+            removed_edges=self._deleted_edges,
+        )
+        self._scheme = ForbiddenSetLabeling(
+            survivor, self._epsilon, options=self._options
+        )
+        self._baked_vertices = set(self._deleted_vertices)
+        self._baked_edges = set(self._deleted_edges)
+        self.rebuilds += 1

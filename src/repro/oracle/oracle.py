@@ -1,0 +1,71 @@
+"""Forbidden-set distance oracle: the table-of-labels construction.
+
+"Observe that one can construct an oracle O_G for G from the labeling
+scheme by storing in some table T the label of each vertex u …  Hence,
+the size of the oracle is at most n times the label length."
+
+The oracle stores *serialized* labels — queries deserialize exactly the
+labels they need (``T[u]``, ``T[v]`` and ``T[x]`` for the faults),
+mirroring the paper's query procedure, and ``size_bits`` reports the
+real storage.  The size is independent of how many faults queries will
+carry — the property experiment E10 contrasts with recompute baselines.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.exceptions import QueryError
+from repro.graphs.graph import Graph
+from repro.labeling.construction import LabelingOptions
+from repro.labeling.decoder import FaultSet, QueryResult, decode_distance
+from repro.labeling.encoding import decode_label, encode_label
+from repro.labeling.scheme import ForbiddenSetLabeling
+
+
+class ForbiddenSetDistanceOracle:
+    """Centralized ``(1+ε)``-approximate forbidden-set distance oracle."""
+
+    def __init__(
+        self,
+        graph: Graph,
+        epsilon: float,
+        options: LabelingOptions | None = None,
+    ) -> None:
+        scheme = ForbiddenSetLabeling(graph, epsilon, options=options)
+        self._epsilon = epsilon
+        self._num_vertices = graph.num_vertices
+        self._edge_set = {(min(u, v), max(u, v)) for u, v in graph.edges()}
+        self._table: list[bytes] = [
+            encode_label(scheme.label(v)) for v in graph.vertices()
+        ]
+
+    def _load(self, vertex: int):
+        if not 0 <= vertex < self._num_vertices:
+            raise QueryError(f"vertex {vertex} out of range")
+        return decode_label(self._table[vertex])
+
+    def query(
+        self,
+        s: int,
+        t: int,
+        vertex_faults: Iterable[int] = (),
+        edge_faults: Iterable[tuple[int, int]] = (),
+    ) -> QueryResult:
+        """``(1+ε)``-approximate ``d_{G\\F}(s, t)`` from the stored table."""
+        for a, b in edge_faults:
+            if (min(a, b), max(a, b)) not in self._edge_set:
+                raise QueryError(f"forbidden edge ({a}, {b}) is not in the graph")
+        faults = FaultSet(
+            vertex_labels=[self._load(f) for f in vertex_faults],
+            edge_labels=[(self._load(a), self._load(b)) for a, b in edge_faults],
+        )
+        return decode_distance(self._load(s), self._load(t), faults)
+
+    def size_bits(self) -> int:
+        """Total storage of the oracle in bits (n encoded labels)."""
+        return 8 * sum(len(entry) for entry in self._table)
+
+    def max_label_bits(self) -> int:
+        """The label length (longest stored label) in bits."""
+        return 8 * max(len(entry) for entry in self._table)

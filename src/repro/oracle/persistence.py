@@ -1,0 +1,161 @@
+"""On-disk label databases.
+
+A label database is the deployable artifact of the scheme: the encoded
+label of every vertex, plus the scheme parameters — everything a server
+(or a fleet of hand-held devices, per the paper's motivation) needs to
+answer forbidden-set queries with **no access to the graph**.
+
+Format (version 1, little-endian):
+
+* magic ``b"FSDL"`` + version byte;
+* header: ``n``, ``epsilon`` (8-byte IEEE), ``c``, ``top_level``;
+* ``n`` length-prefixed encoded labels (vertex id = position).
+"""
+
+from __future__ import annotations
+
+import io
+import math
+import struct
+from typing import BinaryIO, Iterable
+
+from repro.exceptions import EncodingError, QueryError
+from repro.labeling.decoder import FaultSet, QueryResult, decode_distance
+from repro.labeling.encoding import decode_label, encode_label
+
+_MAGIC = b"FSDL"
+_VERSION = 1
+
+
+def save_labels(scheme, path_or_file) -> int:
+    """Write every label of ``scheme`` (any object with ``label(v)`` and a
+    graph-sized vertex space reachable via ``build_all_labels`` or
+    ``_graph``) to ``path_or_file``.  Returns the byte size written.
+    """
+    labels = _collect_labels(scheme)
+    if hasattr(path_or_file, "write"):
+        return _write(path_or_file, labels, scheme)
+    with open(path_or_file, "wb") as handle:
+        return _write(handle, labels, scheme)
+
+
+def _collect_labels(scheme) -> list:
+    graph = getattr(scheme, "_graph")
+    return [scheme.label(v) for v in graph.vertices()]
+
+
+def _write(handle: BinaryIO, labels, scheme) -> int:
+    params = scheme.params
+    payload = io.BytesIO()
+    payload.write(_MAGIC)
+    payload.write(bytes([_VERSION]))
+    payload.write(struct.pack("<I", len(labels)))
+    payload.write(struct.pack("<d", params.epsilon))
+    payload.write(struct.pack("<II", params.c, params.top_level))
+    for label in labels:
+        data = encode_label(label)
+        payload.write(struct.pack("<I", len(data)))
+        payload.write(data)
+    blob = payload.getvalue()
+    handle.write(blob)
+    return len(blob)
+
+
+class LabelDatabase:
+    """A loaded label database answering queries from disk bytes only.
+
+    Example
+    -------
+    >>> import io
+    >>> from repro.graphs.generators import cycle_graph
+    >>> from repro.labeling import ForbiddenSetLabeling
+    >>> scheme = ForbiddenSetLabeling(cycle_graph(16), epsilon=1.0)
+    >>> buffer = io.BytesIO()
+    >>> _ = save_labels(scheme, buffer)
+    >>> db = LabelDatabase.load(io.BytesIO(buffer.getvalue()))
+    >>> db.query(0, 8).distance
+    8
+    """
+
+    def __init__(
+        self,
+        encoded_labels: list[bytes],
+        epsilon: float,
+        c: int,
+        top_level: int,
+    ) -> None:
+        self._table = encoded_labels
+        self.epsilon = epsilon
+        self.c = c
+        self.top_level = top_level
+
+    @classmethod
+    def load(cls, path_or_file) -> "LabelDatabase":
+        """Read a database written by :func:`save_labels`."""
+        if hasattr(path_or_file, "read"):
+            return cls._read(path_or_file)
+        with open(path_or_file, "rb") as handle:
+            return cls._read(handle)
+
+    @classmethod
+    def _read(cls, handle: BinaryIO) -> "LabelDatabase":
+        magic = handle.read(4)
+        if magic != _MAGIC:
+            raise EncodingError(f"bad magic {magic!r}; not a label database")
+        version = handle.read(1)[0]
+        if version != _VERSION:
+            raise EncodingError(f"unsupported version {version}")
+        (n,) = struct.unpack("<I", handle.read(4))
+        (epsilon,) = struct.unpack("<d", handle.read(8))
+        c, top_level = struct.unpack("<II", handle.read(8))
+        table = []
+        for _ in range(n):
+            (length,) = struct.unpack("<I", handle.read(4))
+            data = handle.read(length)
+            if len(data) != length:
+                raise EncodingError("truncated label database")
+            table.append(data)
+        return cls(table, epsilon=epsilon, c=c, top_level=top_level)
+
+    # -- queries ----------------------------------------------------------
+
+    @property
+    def num_vertices(self) -> int:
+        """Number of stored labels."""
+        return len(self._table)
+
+    def label(self, vertex: int):
+        """Decode one stored label."""
+        if not 0 <= vertex < len(self._table):
+            raise QueryError(f"vertex {vertex} out of range")
+        return decode_label(self._table[vertex])
+
+    def query(
+        self,
+        s: int,
+        t: int,
+        vertex_faults: Iterable[int] = (),
+        edge_faults: Iterable[tuple[int, int]] = (),
+    ) -> QueryResult:
+        """Forbidden-set distance query served from the stored bytes."""
+        faults = FaultSet(
+            vertex_labels=[self.label(f) for f in vertex_faults],
+            edge_labels=[(self.label(a), self.label(b)) for a, b in edge_faults],
+        )
+        return decode_distance(self.label(s), self.label(t), faults)
+
+    def connectivity(
+        self,
+        s: int,
+        t: int,
+        vertex_faults: Iterable[int] = (),
+        edge_faults: Iterable[tuple[int, int]] = (),
+    ) -> bool:
+        """Exact connectivity in ``G \\ F``."""
+        return not math.isinf(
+            self.query(s, t, vertex_faults, edge_faults).distance
+        )
+
+    def size_bits(self) -> int:
+        """Total stored label bytes, in bits."""
+        return 8 * sum(len(entry) for entry in self._table)

@@ -1,0 +1,31 @@
+"""Forbidden-set compact routing (Theorem 2.7)."""
+
+from repro.routing.tables import RoutingTable, build_routing_table
+from repro.routing.scheme import ForbiddenSetRouting
+from repro.routing.simulator import RouteResult, simulate_route
+from repro.routing.header import PacketHeader, decode_header, encode_header
+from repro.routing.network_sim import DeliveryReport, Knowledge, NetworkSimulator
+from repro.routing.policy import PolicyRouter
+from repro.routing.weighted import (
+    WeightedForbiddenSetRouting,
+    WeightedRouteResult,
+    build_weighted_routing_table,
+)
+
+__all__ = [
+    "DeliveryReport",
+    "PolicyRouter",
+    "WeightedForbiddenSetRouting",
+    "WeightedRouteResult",
+    "build_weighted_routing_table",
+    "ForbiddenSetRouting",
+    "Knowledge",
+    "NetworkSimulator",
+    "PacketHeader",
+    "RouteResult",
+    "RoutingTable",
+    "build_routing_table",
+    "decode_header",
+    "encode_header",
+    "simulate_route",
+]

@@ -1,0 +1,101 @@
+"""Packet header encoding for the routing scheme.
+
+The paper bounds header length by ``O(|V(H)|)`` vertex names, i.e.
+``O(|V(H)| log n)`` bits (Section 2.2).  This module serializes exactly
+what the forwarding simulator consumes — the waypoint plan plus the
+forbidden set's vertex/edge ids — so experiments can measure real header
+sizes, and routers can parse headers without any side channel.
+
+The target label ``L(t)`` travels separately in our simulator (it is an
+argument of :func:`~repro.routing.simulator.simulate_route`); a
+deployment would append its encoding to the same stream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.util.bitio import BitReader, BitWriter
+
+
+@dataclass(frozen=True)
+class PacketHeader:
+    """The routing header: source, target, waypoints and forbidden ids."""
+
+    source: int
+    target: int
+    waypoints: tuple[int, ...]
+    forbidden_vertices: tuple[int, ...] = ()
+    forbidden_edges: tuple[tuple[int, int], ...] = ()
+
+    def bit_length(self) -> int:
+        """Exact encoded size in bits."""
+        writer = BitWriter()
+        _write_header(writer, self)
+        return writer.bit_length
+
+
+def encode_header(header: PacketHeader) -> bytes:
+    """Serialize a header to bytes."""
+    writer = BitWriter()
+    _write_header(writer, header)
+    return writer.getvalue()
+
+
+def decode_header(data: bytes) -> PacketHeader:
+    """Restore a header serialized by :func:`encode_header`."""
+    reader = BitReader(data)
+    source = reader.read_gamma_nonneg()
+    target = reader.read_gamma_nonneg()
+    waypoints = tuple(
+        reader.read_gamma_nonneg() for _ in range(reader.read_gamma_nonneg())
+    )
+    forbidden_vertices = tuple(
+        reader.read_gamma_nonneg() for _ in range(reader.read_gamma_nonneg())
+    )
+    forbidden_edges = tuple(
+        (reader.read_gamma_nonneg(), reader.read_gamma_nonneg())
+        for _ in range(reader.read_gamma_nonneg())
+    )
+    return PacketHeader(
+        source=source,
+        target=target,
+        waypoints=waypoints,
+        forbidden_vertices=forbidden_vertices,
+        forbidden_edges=forbidden_edges,
+    )
+
+
+def _write_header(writer: BitWriter, header: PacketHeader) -> None:
+    writer.write_gamma_nonneg(header.source)
+    writer.write_gamma_nonneg(header.target)
+    writer.write_gamma_nonneg(len(header.waypoints))
+    for waypoint in header.waypoints:
+        writer.write_gamma_nonneg(waypoint)
+    writer.write_gamma_nonneg(len(header.forbidden_vertices))
+    for vertex in header.forbidden_vertices:
+        writer.write_gamma_nonneg(vertex)
+    writer.write_gamma_nonneg(len(header.forbidden_edges))
+    for a, b in header.forbidden_edges:
+        writer.write_gamma_nonneg(a)
+        writer.write_gamma_nonneg(b)
+
+
+def header_for_route(result, faults=None) -> PacketHeader:
+    """Build the header corresponding to a decoder result and fault set.
+
+    ``result`` is a :class:`~repro.labeling.decoder.QueryResult`;
+    ``faults`` a :class:`~repro.labeling.decoder.FaultSet`.
+    """
+    forbidden_vertices: tuple[int, ...] = ()
+    forbidden_edges: tuple[tuple[int, int], ...] = ()
+    if faults is not None:
+        forbidden_vertices = tuple(sorted(faults.forbidden_vertices()))
+        forbidden_edges = tuple(sorted(faults.forbidden_edges()))
+    return PacketHeader(
+        source=result.path[0],
+        target=result.path[-1],
+        waypoints=tuple(result.path),
+        forbidden_vertices=forbidden_vertices,
+        forbidden_edges=forbidden_edges,
+    )

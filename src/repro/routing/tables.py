@@ -1,0 +1,55 @@
+"""Per-vertex routing tables (Theorem 2.7).
+
+"Each vertex u stores its label L(u), and, for each vertex x of G
+contained in L(u), vertex u stores the port of the out-going edge on a
+shortest path that leads to x from u."
+
+A table is one BFS from ``u``: for every point of ``L(u)`` the first hop
+on a shortest path is recorded and translated to ``u``'s out-port.  The
+storage is ``O(|V(H)| log n)`` bits on top of the label, as in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.graphs.graph import Graph
+from repro.graphs.traversal import bfs_first_hops
+from repro.labeling.label import VertexLabel
+
+
+@dataclass
+class RoutingTable:
+    """Routing state stored at one vertex: its label plus out-ports.
+
+    ``ports[x]`` is the out-port at ``vertex`` toward ``x`` on a shortest
+    path, for every ``x`` appearing as a point in any level of the label.
+    """
+
+    vertex: int
+    label: VertexLabel
+    ports: dict[int, int]
+
+    def port_toward(self, target: int) -> int | None:
+        """Out-port toward ``target`` or ``None`` if target not in the label."""
+        return self.ports.get(target)
+
+    def size_entries(self) -> int:
+        """Number of stored (target, port) pairs."""
+        return len(self.ports)
+
+
+def build_routing_table(graph: Graph, label: VertexLabel) -> RoutingTable:
+    """Build the table of ``label.vertex`` with one BFS."""
+    vertex = label.vertex
+    targets: set[int] = set()
+    for level_label in label.levels.values():
+        targets.update(level_label.points)
+    targets.discard(vertex)
+    _, first_hop = bfs_first_hops(graph, vertex)
+    ports = {}
+    for target in targets:
+        hop = first_hop.get(target)
+        if hop is not None:
+            ports[target] = graph.port_to(vertex, hop)
+    return RoutingTable(vertex=vertex, label=label, ports=ports)

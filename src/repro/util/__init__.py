@@ -1,0 +1,7 @@
+"""Small self-contained utilities: bit I/O, priority queues, seeded RNG."""
+
+from repro.util.bitio import BitReader, BitWriter
+from repro.util.pqueue import IndexedMinHeap
+from repro.util.rng import make_rng
+
+__all__ = ["BitReader", "BitWriter", "IndexedMinHeap", "make_rng"]

@@ -1,0 +1,134 @@
+"""Bit-level writer/reader used to serialize labels.
+
+The paper's headline result is a bound on label length *in bits*, so the
+library measures real encoded sizes rather than Python object sizes.  The
+codes implemented here are classic self-delimiting integer codes:
+
+* **unary** — ``n`` zeros followed by a one;
+* **Elias gamma** — unary length prefix plus binary payload, for positive
+  integers of unknown magnitude;
+* **fixed-width** — plain ``k``-bit big-endian integers;
+* **varint-style delta** sequences are built on top by the encoding layer.
+
+Both classes operate most-significant-bit first so encoded labels are
+byte-order independent.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import EncodingError
+
+
+class BitWriter:
+    """Accumulates bits MSB-first and renders them to :class:`bytes`.
+
+    Example
+    -------
+    >>> w = BitWriter()
+    >>> w.write_bits(0b101, 3)
+    >>> w.write_gamma(9)
+    >>> data = w.getvalue()
+    >>> r = BitReader(data)
+    >>> r.read_bits(3), r.read_gamma()
+    (5, 9)
+    """
+
+    def __init__(self) -> None:
+        self._chunks: list[int] = []  # individual bits (0/1)
+
+    def __len__(self) -> int:
+        """Number of bits written so far."""
+        return len(self._chunks)
+
+    @property
+    def bit_length(self) -> int:
+        """Number of bits written so far (same as ``len``)."""
+        return len(self._chunks)
+
+    def write_bit(self, bit: int) -> None:
+        """Append a single bit (0 or 1)."""
+        self._chunks.append(1 if bit else 0)
+
+    def write_bits(self, value: int, width: int) -> None:
+        """Append ``value`` as a big-endian ``width``-bit integer."""
+        if value < 0:
+            raise EncodingError(f"cannot write negative value {value}")
+        if width < 0:
+            raise EncodingError(f"negative width {width}")
+        if value >> width:
+            raise EncodingError(f"value {value} does not fit in {width} bits")
+        for shift in range(width - 1, -1, -1):
+            self._chunks.append((value >> shift) & 1)
+
+    def write_unary(self, value: int) -> None:
+        """Append ``value`` zeros followed by a terminating one."""
+        if value < 0:
+            raise EncodingError(f"cannot unary-encode negative value {value}")
+        self._chunks.extend([0] * value)
+        self._chunks.append(1)
+
+    def write_gamma(self, value: int) -> None:
+        """Append a positive integer using the Elias gamma code."""
+        if value < 1:
+            raise EncodingError(f"gamma code requires value >= 1, got {value}")
+        width = value.bit_length()
+        self.write_unary(width - 1)
+        self.write_bits(value - (1 << (width - 1)), width - 1)
+
+    def write_gamma_nonneg(self, value: int) -> None:
+        """Gamma-encode a non-negative integer (shifted by one)."""
+        self.write_gamma(value + 1)
+
+    def getvalue(self) -> bytes:
+        """Render the written bits as bytes, zero-padded to a byte boundary."""
+        out = bytearray((len(self._chunks) + 7) // 8)
+        for index, bit in enumerate(self._chunks):
+            if bit:
+                out[index >> 3] |= 0x80 >> (index & 7)
+        return bytes(out)
+
+
+class BitReader:
+    """Reads bits MSB-first from a :class:`bytes` buffer."""
+
+    def __init__(self, data: bytes) -> None:
+        self._data = data
+        self._pos = 0
+        self._limit = len(data) * 8
+
+    @property
+    def bits_remaining(self) -> int:
+        """Number of unread bits (including any trailing padding)."""
+        return self._limit - self._pos
+
+    def read_bit(self) -> int:
+        """Read a single bit."""
+        if self._pos >= self._limit:
+            raise EncodingError("read past end of bit stream")
+        byte = self._data[self._pos >> 3]
+        bit = (byte >> (7 - (self._pos & 7))) & 1
+        self._pos += 1
+        return bit
+
+    def read_bits(self, width: int) -> int:
+        """Read a big-endian ``width``-bit integer."""
+        value = 0
+        for _ in range(width):
+            value = (value << 1) | self.read_bit()
+        return value
+
+    def read_unary(self) -> int:
+        """Read a unary code; returns the number of leading zeros."""
+        count = 0
+        while self.read_bit() == 0:
+            count += 1
+        return count
+
+    def read_gamma(self) -> int:
+        """Read an Elias-gamma-coded positive integer."""
+        width = self.read_unary()
+        return (1 << width) | self.read_bits(width)
+
+    def read_gamma_nonneg(self) -> int:
+        """Read a gamma-coded non-negative integer (shifted by one)."""
+        return self.read_gamma() - 1

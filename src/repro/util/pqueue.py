@@ -1,0 +1,113 @@
+"""An indexed binary min-heap supporting decrease-key.
+
+``heapq`` from the standard library has no decrease-key, which forces the
+usual "lazy deletion" idiom.  The decoder's sketch-graph Dijkstra runs on
+very small graphs where either approach works, but an indexed heap keeps
+the Dijkstra implementations straightforward and is reused by the routing
+table builder.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+
+class IndexedMinHeap:
+    """Binary min-heap over hashable items with ``decrease_key`` support.
+
+    Example
+    -------
+    >>> h = IndexedMinHeap()
+    >>> h.push("a", 5)
+    >>> h.push("b", 3)
+    >>> h.decrease_key("a", 1)
+    >>> h.pop()
+    ('a', 1)
+    >>> h.pop()
+    ('b', 3)
+    """
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[float, Hashable]] = []
+        self._index: dict[Hashable, int] = {}
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __contains__(self, item: Hashable) -> bool:
+        return item in self._index
+
+    def key(self, item: Hashable) -> float:
+        """Current key of ``item`` (raises ``KeyError`` if absent)."""
+        return self._heap[self._index[item]][0]
+
+    def push(self, item: Hashable, key: float) -> None:
+        """Insert a new item; raises ``ValueError`` if already present."""
+        if item in self._index:
+            raise ValueError(f"item {item!r} already in heap")
+        self._heap.append((key, item))
+        self._index[item] = len(self._heap) - 1
+        self._sift_up(len(self._heap) - 1)
+
+    def push_or_decrease(self, item: Hashable, key: float) -> bool:
+        """Insert ``item`` or lower its key; returns True if anything changed."""
+        pos = self._index.get(item)
+        if pos is None:
+            self.push(item, key)
+            return True
+        if key < self._heap[pos][0]:
+            self._heap[pos] = (key, item)
+            self._sift_up(pos)
+            return True
+        return False
+
+    def decrease_key(self, item: Hashable, key: float) -> None:
+        """Lower the key of an existing item."""
+        pos = self._index[item]
+        if key > self._heap[pos][0]:
+            raise ValueError("new key is larger than current key")
+        self._heap[pos] = (key, item)
+        self._sift_up(pos)
+
+    def pop(self) -> tuple[Hashable, float]:
+        """Remove and return ``(item, key)`` with the smallest key."""
+        if not self._heap:
+            raise IndexError("pop from empty heap")
+        key, item = self._heap[0]
+        last = self._heap.pop()
+        del self._index[item]
+        if self._heap:
+            self._heap[0] = last
+            self._index[last[1]] = 0
+            self._sift_down(0)
+        return item, key
+
+    def _sift_up(self, pos: int) -> None:
+        entry = self._heap[pos]
+        while pos > 0:
+            parent = (pos - 1) >> 1
+            if self._heap[parent][0] <= entry[0]:
+                break
+            self._heap[pos] = self._heap[parent]
+            self._index[self._heap[pos][1]] = pos
+            pos = parent
+        self._heap[pos] = entry
+        self._index[entry[1]] = pos
+
+    def _sift_down(self, pos: int) -> None:
+        entry = self._heap[pos]
+        size = len(self._heap)
+        while True:
+            child = 2 * pos + 1
+            if child >= size:
+                break
+            right = child + 1
+            if right < size and self._heap[right][0] < self._heap[child][0]:
+                child = right
+            if self._heap[child][0] >= entry[0]:
+                break
+            self._heap[pos] = self._heap[child]
+            self._index[self._heap[pos][1]] = pos
+            pos = child
+        self._heap[pos] = entry
+        self._index[entry[1]] = pos

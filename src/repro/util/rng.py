@@ -1,0 +1,26 @@
+"""Seeded random number generation helpers.
+
+All stochastic code paths in the library (generators, workloads,
+experiments) accept either a seed or a ``random.Random`` instance and
+route through :func:`make_rng`, so every experiment in EXPERIMENTS.md is
+reproducible bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import random
+
+RngLike = random.Random | int | None
+
+
+def make_rng(seed_or_rng: RngLike = None) -> random.Random:
+    """Return a ``random.Random`` for the given seed/instance.
+
+    ``None`` yields a deterministic default (seed 0) — the library never
+    silently uses global randomness.
+    """
+    if isinstance(seed_or_rng, random.Random):
+        return seed_or_rng
+    if seed_or_rng is None:
+        return random.Random(0)
+    return random.Random(seed_or_rng)

@@ -1,0 +1,17 @@
+"""Query and failure workload generators for experiments."""
+
+from repro.workloads.queries import (
+    Query,
+    adversarial_queries,
+    clustered_fault_queries,
+    random_queries,
+)
+from repro.workloads.scenarios import road_closure_scenario
+
+__all__ = [
+    "Query",
+    "adversarial_queries",
+    "clustered_fault_queries",
+    "random_queries",
+    "road_closure_scenario",
+]

@@ -1,0 +1,109 @@
+"""Forbidden-set query workloads.
+
+Three generators with increasing adversarialness:
+
+* :func:`random_queries` — uniform endpoints, uniform faults;
+* :func:`adversarial_queries` — faults placed *on the current shortest
+  path* between the endpoints, maximizing detours (the regime the
+  protected-ball machinery exists for);
+* :func:`clustered_fault_queries` — faults form a BFS ball (a "failed
+  region"), modeling correlated outages / road closures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.graphs.graph import Graph
+from repro.graphs.traversal import bfs_distances, shortest_path
+from repro.util.rng import RngLike, make_rng
+
+
+@dataclass(frozen=True)
+class Query:
+    """One forbidden-set distance query."""
+
+    s: int
+    t: int
+    vertex_faults: tuple[int, ...] = ()
+    edge_faults: tuple[tuple[int, int], ...] = ()
+
+    @property
+    def num_faults(self) -> int:
+        """Total number of forbidden elements carried by the query."""
+        return len(self.vertex_faults) + len(self.edge_faults)
+
+
+def random_queries(
+    graph: Graph,
+    count: int,
+    max_vertex_faults: int = 4,
+    max_edge_faults: int = 0,
+    seed: RngLike = None,
+) -> list[Query]:
+    """Uniformly random queries with uniformly random faults."""
+    rng = make_rng(seed)
+    n = graph.num_vertices
+    edges = list(graph.edges())
+    out = []
+    for _ in range(count):
+        s, t = rng.sample(range(n), 2)
+        k_v = rng.randint(0, max_vertex_faults)
+        vf = tuple(
+            v for v in rng.sample(range(n), min(k_v, n)) if v not in (s, t)
+        )
+        k_e = rng.randint(0, max_edge_faults) if edges else 0
+        ef = tuple(rng.sample(edges, min(k_e, len(edges))))
+        out.append(Query(s=s, t=t, vertex_faults=vf, edge_faults=ef))
+    return out
+
+
+def adversarial_queries(
+    graph: Graph,
+    count: int,
+    faults_per_query: int = 2,
+    seed: RngLike = None,
+) -> list[Query]:
+    """Faults sampled from the interior of a shortest ``s–t`` path.
+
+    These force the decoder to actually reroute; uniform faults mostly
+    miss the path.
+    """
+    rng = make_rng(seed)
+    n = graph.num_vertices
+    out = []
+    attempts = 0
+    while len(out) < count and attempts < 20 * count:
+        attempts += 1
+        s, t = rng.sample(range(n), 2)
+        path = shortest_path(graph, s, t)
+        if path is None or len(path) < 4:
+            continue
+        interior = path[1:-1]
+        k = min(faults_per_query, len(interior))
+        vf = tuple(rng.sample(interior, k))
+        out.append(Query(s=s, t=t, vertex_faults=vf))
+    return out
+
+
+def clustered_fault_queries(
+    graph: Graph,
+    count: int,
+    cluster_radius: int = 1,
+    seed: RngLike = None,
+) -> list[Query]:
+    """Faults form a ball around a random center — a failed region."""
+    rng = make_rng(seed)
+    n = graph.num_vertices
+    out = []
+    attempts = 0
+    while len(out) < count and attempts < 20 * count:
+        attempts += 1
+        center = rng.randrange(n)
+        cluster = set(bfs_distances(graph, center, radius=cluster_radius))
+        survivors = [v for v in range(n) if v not in cluster]
+        if len(survivors) < 2:
+            continue
+        s, t = rng.sample(survivors, 2)
+        out.append(Query(s=s, t=t, vertex_faults=tuple(sorted(cluster))))
+    return out

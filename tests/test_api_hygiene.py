@@ -1,0 +1,67 @@
+"""Meta-tests: public-API hygiene (docstrings everywhere, exports resolve)."""
+
+import importlib
+import inspect
+import pkgutil
+
+import pytest
+
+import repro
+
+
+def _public_modules():
+    modules = [repro]
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        if "._" in info.name or info.name.endswith("__main__"):
+            continue
+        modules.append(importlib.import_module(info.name))
+    return modules
+
+
+MODULES = _public_modules()
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_module_has_docstring(module):
+    assert module.__doc__ and module.__doc__.strip(), module.__name__
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_public_members_documented(module):
+    undocumented = []
+    for name, obj in vars(module).items():
+        if name.startswith("_") or inspect.ismodule(obj):
+            continue
+        if getattr(obj, "__module__", None) != module.__name__:
+            continue
+        if inspect.isclass(obj) or inspect.isfunction(obj):
+            if not (obj.__doc__ and obj.__doc__.strip()):
+                undocumented.append(name)
+            if inspect.isclass(obj):
+                for member_name, member in vars(obj).items():
+                    if member_name.startswith("_"):
+                        continue
+                    func = member
+                    if isinstance(member, (classmethod, staticmethod)):
+                        func = member.__func__
+                    elif isinstance(member, property):
+                        func = member.fget
+                    if inspect.isfunction(func) and not (
+                        func.__doc__ and func.__doc__.strip()
+                    ):
+                        undocumented.append(f"{name}.{member_name}")
+    assert not undocumented, f"{module.__name__}: {undocumented}"
+
+
+@pytest.mark.parametrize(
+    "module",
+    [m for m in MODULES if hasattr(m, "__all__")],
+    ids=lambda m: m.__name__,
+)
+def test_all_exports_resolve(module):
+    for name in module.__all__:
+        assert hasattr(module, name), f"{module.__name__}.__all__: {name}"
+
+
+def test_version_defined():
+    assert repro.__version__

@@ -1,0 +1,163 @@
+"""Tests for the baseline oracles."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import (
+    ApspOracle,
+    ExactRecomputeOracle,
+    SingleFaultOracle,
+    TreeForbiddenSetLabeling,
+)
+from repro.exceptions import GraphError, QueryError
+from repro.graphs import Graph, bfs_distances
+from repro.graphs.generators import (
+    balanced_tree,
+    cycle_graph,
+    grid_graph,
+    path_graph,
+    random_tree,
+)
+
+
+class TestExactRecompute:
+    def test_matches_bfs(self):
+        g = grid_graph(5, 5)
+        oracle = ExactRecomputeOracle(g)
+        truth = bfs_distances(g, 0)
+        for t in range(1, 25):
+            assert oracle.query(0, t) == truth[t]
+
+    def test_endpoint_fault_rejected(self):
+        oracle = ExactRecomputeOracle(path_graph(5))
+        with pytest.raises(QueryError):
+            oracle.query(0, 2, vertex_faults=[0])
+
+    def test_connectivity(self):
+        oracle = ExactRecomputeOracle(path_graph(5))
+        assert oracle.connectivity(0, 4)
+        assert not oracle.connectivity(0, 4, vertex_faults=[2])
+
+
+class TestApsp:
+    def test_matches_exact(self):
+        g = cycle_graph(14)
+        apsp = ApspOracle(g)
+        exact = ExactRecomputeOracle(g)
+        for s in range(14):
+            for t in range(14):
+                assert apsp.query(s, t) == exact.query(s, t)
+
+    def test_disconnected_inf(self):
+        g = Graph(3)
+        g.add_edge(0, 1)
+        assert math.isinf(ApspOracle(g).query(0, 2))
+
+    def test_size(self):
+        assert ApspOracle(path_graph(6)).size_entries() == 36
+
+    def test_out_of_range(self):
+        with pytest.raises(QueryError):
+            ApspOracle(path_graph(3)).query(0, 5)
+
+
+class TestSingleFault:
+    def test_vertex_fault_matches_exact(self):
+        g = grid_graph(5, 5)
+        oracle = SingleFaultOracle(g)
+        exact = ExactRecomputeOracle(g)
+        for s, t, f in [(0, 24, 12), (0, 4, 2), (20, 4, 13), (0, 24, 1)]:
+            assert oracle.query_vertex_fault(s, t, f) == exact.query(
+                s, t, vertex_faults=[f]
+            )
+
+    def test_edge_fault_matches_exact(self):
+        g = cycle_graph(12)
+        oracle = SingleFaultOracle(g)
+        exact = ExactRecomputeOracle(g)
+        for s, t, e in [(0, 6, (2, 3)), (0, 6, (8, 9)), (1, 2, (1, 2))]:
+            assert oracle.query_edge_fault(s, t, e) == exact.query(
+                s, t, edge_faults=[e]
+            )
+
+    def test_fast_path_taken_for_irrelevant_fault(self):
+        g = path_graph(10)
+        oracle = SingleFaultOracle(g)
+        oracle.query_vertex_fault(0, 3, 8)  # fault beyond the target
+        assert oracle.fast_path_hits == 1 and oracle.slow_path_hits == 0
+
+    def test_slow_path_taken_for_on_path_fault(self):
+        g = cycle_graph(10)
+        oracle = SingleFaultOracle(g)
+        oracle.query_vertex_fault(0, 4, 2)
+        assert oracle.slow_path_hits == 1
+
+    def test_endpoint_fault_rejected(self):
+        oracle = SingleFaultOracle(path_graph(5))
+        with pytest.raises(QueryError):
+            oracle.query_vertex_fault(0, 2, 2)
+
+    def test_missing_edge_rejected(self):
+        oracle = SingleFaultOracle(path_graph(5))
+        with pytest.raises(QueryError):
+            oracle.query_edge_fault(0, 2, (0, 3))
+
+
+class TestTreeLabeling:
+    def test_non_tree_rejected(self):
+        with pytest.raises(GraphError):
+            TreeForbiddenSetLabeling(cycle_graph(5))
+        disconnected = Graph(4)
+        disconnected.add_edge(0, 1)
+        with pytest.raises(GraphError):
+            TreeForbiddenSetLabeling(disconnected)
+
+    def test_distances_exact_failure_free(self):
+        g = balanced_tree(2, 4)
+        scheme = TreeForbiddenSetLabeling(g)
+        exact = ExactRecomputeOracle(g)
+        for s in range(0, g.num_vertices, 3):
+            for t in range(g.num_vertices):
+                assert scheme.query(s, t) == exact.query(s, t)
+
+    def test_fault_on_path_disconnects(self):
+        g = path_graph(10)  # a path is a tree
+        scheme = TreeForbiddenSetLabeling(g)
+        assert math.isinf(scheme.query(0, 9, vertex_faults=[5]))
+        assert scheme.query(0, 4, vertex_faults=[5]) == 4
+
+    def test_edge_fault(self):
+        g = balanced_tree(2, 3)
+        scheme = TreeForbiddenSetLabeling(g)
+        # removing the root-child edge on the s-t path disconnects
+        assert math.isinf(scheme.query(1, 2, edge_faults=[(0, 1)]))
+        assert scheme.query(1, 2, edge_faults=[(1, 3)]) == 2
+
+    def test_endpoint_fault_rejected(self):
+        scheme = TreeForbiddenSetLabeling(path_graph(4))
+        with pytest.raises(QueryError):
+            scheme.query(0, 2, vertex_faults=[2])
+
+    def test_label_sizes(self):
+        scheme = TreeForbiddenSetLabeling(path_graph(8))
+        assert scheme.max_label_entries() == 8  # deepest root path
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(3, 50), st.integers(0, 10**6))
+    def test_matches_exact_on_random_trees(self, n, seed):
+        g = random_tree(n, seed)
+        scheme = TreeForbiddenSetLabeling(g)
+        exact = ExactRecomputeOracle(g)
+        import random as _random
+
+        rng = _random.Random(seed)
+        for _ in range(5):
+            s, t = rng.sample(range(n), 2)
+            candidates = [v for v in range(n) if v not in (s, t)]
+            faults = rng.sample(candidates, min(2, len(candidates)))
+            assert scheme.query(s, t, vertex_faults=faults) == exact.query(
+                s, t, vertex_faults=faults
+            )

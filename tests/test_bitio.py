@@ -1,0 +1,113 @@
+"""Unit tests for the bit-level I/O used by label encoding."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.exceptions import EncodingError
+from repro.util.bitio import BitReader, BitWriter
+
+
+class TestBitWriter:
+    def test_empty_writer_produces_no_bytes(self):
+        assert BitWriter().getvalue() == b""
+
+    def test_single_bit_padding(self):
+        w = BitWriter()
+        w.write_bit(1)
+        assert w.getvalue() == b"\x80"
+        assert w.bit_length == 1
+
+    def test_write_bits_msb_first(self):
+        w = BitWriter()
+        w.write_bits(0b1011, 4)
+        assert w.getvalue() == b"\xb0"
+
+    def test_write_bits_rejects_overflow(self):
+        w = BitWriter()
+        with pytest.raises(EncodingError):
+            w.write_bits(16, 4)
+
+    def test_write_bits_rejects_negative(self):
+        w = BitWriter()
+        with pytest.raises(EncodingError):
+            w.write_bits(-1, 4)
+
+    def test_zero_width_zero_value_ok(self):
+        w = BitWriter()
+        w.write_bits(0, 0)
+        assert w.bit_length == 0
+
+    def test_gamma_rejects_nonpositive(self):
+        w = BitWriter()
+        with pytest.raises(EncodingError):
+            w.write_gamma(0)
+
+    def test_unary_roundtrip(self):
+        w = BitWriter()
+        for value in (0, 1, 5, 13):
+            w.write_unary(value)
+        r = BitReader(w.getvalue())
+        assert [r.read_unary() for _ in range(4)] == [0, 1, 5, 13]
+
+
+class TestBitReader:
+    def test_read_past_end_raises(self):
+        r = BitReader(b"")
+        with pytest.raises(EncodingError):
+            r.read_bit()
+
+    def test_fixed_width_roundtrip(self):
+        w = BitWriter()
+        w.write_bits(12345, 20)
+        w.write_bits(7, 3)
+        r = BitReader(w.getvalue())
+        assert r.read_bits(20) == 12345
+        assert r.read_bits(3) == 7
+
+    def test_gamma_small_values(self):
+        w = BitWriter()
+        for value in range(1, 50):
+            w.write_gamma(value)
+        r = BitReader(w.getvalue())
+        assert [r.read_gamma() for _ in range(49)] == list(range(1, 50))
+
+
+@given(st.lists(st.integers(min_value=1, max_value=10**9), max_size=200))
+def test_gamma_roundtrip_property(values):
+    w = BitWriter()
+    for value in values:
+        w.write_gamma(value)
+    r = BitReader(w.getvalue())
+    assert [r.read_gamma() for _ in values] == values
+
+
+@given(st.lists(st.integers(min_value=0, max_value=10**9), max_size=200))
+def test_gamma_nonneg_roundtrip_property(values):
+    w = BitWriter()
+    for value in values:
+        w.write_gamma_nonneg(value)
+    r = BitReader(w.getvalue())
+    assert [r.read_gamma_nonneg() for _ in values] == values
+
+
+@given(
+    st.lists(
+        st.tuples(st.integers(min_value=0, max_value=63), st.integers(6, 12)),
+        max_size=100,
+    )
+)
+def test_mixed_fixed_width_roundtrip_property(pairs):
+    w = BitWriter()
+    for value, width in pairs:
+        w.write_bits(value, width)
+    r = BitReader(w.getvalue())
+    assert [r.read_bits(width) for _, width in pairs] == [v for v, _ in pairs]
+
+
+def test_gamma_code_length_is_logarithmic():
+    # gamma(v) takes 2*floor(log2 v) + 1 bits
+    for value in (1, 2, 3, 7, 8, 1023, 1024):
+        w = BitWriter()
+        w.write_gamma(value)
+        assert w.bit_length == 2 * (value.bit_length() - 1) + 1

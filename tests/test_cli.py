@@ -1,0 +1,95 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main, parse_graph_spec
+
+
+class TestGraphSpec:
+    @pytest.mark.parametrize(
+        "spec,n",
+        [
+            ("path:10", 10),
+            ("cycle:12", 12),
+            ("grid:3x4", 12),
+            ("grid:2x2x2", 8),
+            ("torus:3x4", 12),
+            ("tree:20", 20),
+            ("tree:20:5", 20),
+            ("road:4x4", 16),
+            ("cylinder:10x4", 40),
+            ("king:3x2", 9),
+            ("halfking:3x2", 9),
+            ("hypercube:3", 8),
+            ("sierpinski:2", 15),
+            ("geometric:30:0.4", 30),
+        ],
+    )
+    def test_valid_specs(self, spec, n):
+        assert parse_graph_spec(spec).num_vertices == n
+
+    def test_unknown_family(self):
+        with pytest.raises(SystemExit):
+            parse_graph_spec("klein:4")
+
+    def test_malformed_params(self):
+        with pytest.raises(SystemExit):
+            parse_graph_spec("grid:axb")
+
+
+class TestCommands:
+    def test_build_info_query_roundtrip(self, tmp_path, capsys):
+        db_path = str(tmp_path / "labels.fsdl")
+        assert main(["build", "cycle:16", "-e", "1.0", "-o", db_path]) == 0
+        assert main(["info", db_path]) == 0
+        out = capsys.readouterr().out
+        assert "labels:    16" in out
+
+        assert main(["query", db_path, "-s", "0", "-t", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "d(0, 8 | F) = 8" in out
+
+        assert main(
+            ["query", db_path, "-s", "0", "-t", "4", "--fail-vertex", "2"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "= 12" in out  # the long way around C_16
+
+    def test_query_unreachable(self, tmp_path, capsys):
+        db_path = str(tmp_path / "labels.fsdl")
+        main(["build", "path:8", "-o", db_path])
+        capsys.readouterr()
+        assert main(["query", db_path, "-s", "0", "-t", "7",
+                     "--fail-vertex", "4"]) == 0
+        assert "unreachable" in capsys.readouterr().out
+
+    def test_query_edge_fault_syntax(self, tmp_path, capsys):
+        db_path = str(tmp_path / "labels.fsdl")
+        main(["build", "path:6", "-o", db_path])
+        capsys.readouterr()
+        assert main(["query", db_path, "-s", "0", "-t", "5",
+                     "--fail-edge", "2-3"]) == 0
+        assert "unreachable" in capsys.readouterr().out
+
+    def test_bad_edge_syntax(self, tmp_path):
+        db_path = str(tmp_path / "labels.fsdl")
+        main(["build", "path:6", "-o", db_path])
+        with pytest.raises(SystemExit):
+            main(["query", db_path, "-s", "0", "-t", "5", "--fail-edge", "2:3"])
+
+    def test_verify_command(self, capsys):
+        assert main(["verify", "grid:4x4", "-e", "2.0"]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_verify_unit_mode(self, capsys):
+        assert main(["verify", "cycle:16", "--low-level", "unit"]) == 0
+
+    def test_experiment_command(self, capsys):
+        assert main(["experiment", "E9"]) == 0
+        assert "Theorem 3.1" in capsys.readouterr().out
+
+    def test_build_unit_mode(self, tmp_path, capsys):
+        db_path = str(tmp_path / "labels.fsdl")
+        assert main(
+            ["build", "grid:5x5", "--low-level", "unit", "-o", db_path]
+        ) == 0

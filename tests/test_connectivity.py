@@ -1,0 +1,140 @@
+"""Tests for connectivity labeling and the Section 3 lower bound."""
+
+import math
+
+import pytest
+
+from repro.baselines import ExactRecomputeOracle
+from repro.connectivity import (
+    ForbiddenSetConnectivityLabeling,
+    family_log2_size,
+    lower_bound_bits,
+    reconstruct_graph_from_oracle,
+    theoretical_lower_bound_bits,
+)
+from repro.exceptions import GraphError
+from repro.graphs.generators import (
+    cycle_graph,
+    grid_graph,
+    king_grid,
+    path_graph,
+    random_tree,
+    sample_family_graph,
+)
+from repro.workloads import clustered_fault_queries, random_queries
+
+
+class TestConnectivityScheme:
+    def test_exact_on_random_workload(self):
+        g = grid_graph(7, 7)
+        scheme = ForbiddenSetConnectivityLabeling(g)
+        exact = ExactRecomputeOracle(g)
+        for q in random_queries(g, 40, max_vertex_faults=6, max_edge_faults=2, seed=1):
+            expected = exact.connectivity(
+                q.s, q.t, vertex_faults=q.vertex_faults, edge_faults=q.edge_faults
+            )
+            assert (
+                scheme.connected(
+                    q.s, q.t, vertex_faults=q.vertex_faults, edge_faults=q.edge_faults
+                )
+                == expected
+            )
+
+    def test_exact_on_clustered_faults(self):
+        g = random_tree(50, seed=2)
+        scheme = ForbiddenSetConnectivityLabeling(g)
+        exact = ExactRecomputeOracle(g)
+        for q in clustered_fault_queries(g, 20, cluster_radius=1, seed=2):
+            expected = exact.connectivity(q.s, q.t, vertex_faults=q.vertex_faults)
+            assert scheme.connected(q.s, q.t, vertex_faults=q.vertex_faults) == expected
+
+    def test_cut_edge(self):
+        scheme = ForbiddenSetConnectivityLabeling(path_graph(10))
+        assert not scheme.connected(0, 9, edge_faults=[(4, 5)])
+        assert scheme.connected(0, 4, edge_faults=[(4, 5)])
+
+    def test_from_labels_static(self):
+        g = cycle_graph(12)
+        scheme = ForbiddenSetConnectivityLabeling(g)
+        assert ForbiddenSetConnectivityLabeling.connected_from_labels(
+            scheme.label(0), scheme.label(6)
+        )
+
+    def test_coarse_labels_smaller_than_precise(self):
+        # on a long path the epsilon dependence is visible: the coarse
+        # (connectivity) labels are much smaller than eps=0.25 labels
+        from repro.labeling import ForbiddenSetLabeling
+
+        g = path_graph(256)
+        coarse = ForbiddenSetConnectivityLabeling(g).label_statistics([128])
+        precise = ForbiddenSetLabeling(g, epsilon=0.25).label_statistics([128])
+        assert coarse["max_bits"] < precise["max_bits"]
+
+
+class TestLowerBound:
+    def test_family_size_positive_and_growing(self):
+        assert family_log2_size(3, 2) > 0
+        assert family_log2_size(4, 2) > family_log2_size(3, 2)
+
+    def test_lower_bound_bits_concrete(self):
+        # per-label bound = optional-edge count / n, strictly positive
+        assert lower_bound_bits(4, 2) > 0
+
+    def test_lower_bound_grows_with_alpha(self):
+        # at comparable n, higher doubling dimension forces longer labels:
+        # alpha = 2d, compare d=2 (n=7^2=49) vs d=4 (n=3^4=81)
+        assert lower_bound_bits(3, 4) > lower_bound_bits(7, 2)
+
+    def test_theoretical_bound_shape(self):
+        assert theoretical_lower_bound_bits(1024, 4) == pytest.approx(4 + 10)
+        with pytest.raises(GraphError):
+            theoretical_lower_bound_bits(1, 4)
+
+    def test_reconstruction_attack_exact(self):
+        """The everywhere-failure attack reconstructs G exactly, using our
+        own labeling scheme as the oracle — the information-theoretic core
+        of Theorem 3.1, end-to-end."""
+        g = sample_family_graph(3, 2, seed=7)
+        scheme = ForbiddenSetConnectivityLabeling(g)
+
+        def oracle(i, j, forbidden):
+            return scheme.connected(i, j, vertex_faults=forbidden)
+
+        rebuilt = reconstruct_graph_from_oracle(oracle, g.num_vertices)
+        assert sorted(rebuilt.edges()) == sorted(g.edges())
+
+    def test_reconstruction_attack_on_path(self):
+        g = path_graph(9)
+        scheme = ForbiddenSetConnectivityLabeling(g)
+
+        def oracle(i, j, forbidden):
+            return scheme.connected(i, j, vertex_faults=forbidden)
+
+        rebuilt = reconstruct_graph_from_oracle(oracle, 9)
+        assert sorted(rebuilt.edges()) == sorted(g.edges())
+
+    def test_path_labels_pairwise_distinct(self):
+        """The n-2 distinct labels argument: our labels on P_n are in fact
+        pairwise distinct (each contains its owner at distance 0)."""
+        from repro.labeling import encode_label
+
+        g = path_graph(16)
+        scheme = ForbiddenSetConnectivityLabeling(g)
+        encodings = {encode_label(scheme.label(v)) for v in range(16)}
+        assert len(encodings) == 16
+
+    def test_king_grid_doubling_dimension_bounded(self):
+        from repro.graphs.doubling import doubling_dimension_estimate
+
+        # the greedy estimator over-covers by a constant factor, so allow
+        # slack over the true bound alpha <= d = 2 (paper, Section 3)
+        g = king_grid(5, 2)
+        assert doubling_dimension_estimate(g, seed=0) <= 3.5
+
+    def test_upper_vs_lower_bound_consistency(self):
+        """Our scheme's labels must be at least as long as the
+        information-theoretic lower bound for the family instance."""
+        g = sample_family_graph(3, 2, seed=1)
+        scheme = ForbiddenSetConnectivityLabeling(g)
+        stats = scheme.label_statistics()
+        assert stats["max_bits"] >= lower_bound_bits(3, 2)

@@ -1,0 +1,92 @@
+"""Tests for the connectivity-only label codec."""
+
+import math
+
+import pytest
+
+from repro.baselines import ExactRecomputeOracle
+from repro.connectivity import ForbiddenSetConnectivityLabeling
+from repro.graphs.generators import cycle_graph, grid_graph, random_tree
+from repro.labeling import FaultSet, ForbiddenSetLabeling, decode_distance, encode_label
+from repro.labeling.encoding import (
+    decode_connectivity_label,
+    encode_connectivity_label,
+)
+from repro.workloads import random_queries
+
+
+class TestCodecSemantics:
+    def test_smaller_than_full_codec(self):
+        g = grid_graph(7, 7)
+        scheme = ForbiddenSetLabeling(g, epsilon=8.0)
+        full = encode_label(scheme.label(24))
+        compact = encode_connectivity_label(scheme.label(24))
+        assert len(compact) < len(full)
+
+    def test_structure_preserved(self):
+        g = cycle_graph(20)
+        scheme = ForbiddenSetLabeling(g, epsilon=8.0)
+        label = scheme.label(5)
+        restored = decode_connectivity_label(encode_connectivity_label(label))
+        assert restored.vertex == 5
+        assert restored.levels.keys() == label.levels.keys()
+        for i, lvl in label.levels.items():
+            r = restored.levels[i]
+            assert set(r.points) == set(lvl.points)
+            assert set(r.edges) == set(lvl.edges)
+            assert set(r.graph_edges) == set(lvl.graph_edges)
+            # protected-ball membership identical
+            lam = 1 << (i + 1)
+            for point in lvl.points:
+                assert (lvl.points[point] <= lam) == (r.points[point] <= lam)
+
+    def test_owner_distance_zero(self):
+        g = cycle_graph(12)
+        scheme = ForbiddenSetLabeling(g, epsilon=8.0)
+        restored = decode_connectivity_label(
+            encode_connectivity_label(scheme.label(3))
+        )
+        for lvl in restored.levels.values():
+            assert lvl.points[3] == 0
+
+
+class TestConnectivityThroughCodec:
+    @pytest.mark.parametrize("seed", [1, 2])
+    def test_exact_connectivity_from_compact_labels(self, seed):
+        g = grid_graph(6, 6)
+        scheme = ForbiddenSetConnectivityLabeling(g)
+        exact = ExactRecomputeOracle(g)
+        wire = lambda v: decode_connectivity_label(
+            encode_connectivity_label(scheme.label(v))
+        )
+        for q in random_queries(g, 25, max_vertex_faults=5, max_edge_faults=2,
+                                seed=seed):
+            faults = FaultSet(
+                vertex_labels=[wire(f) for f in q.vertex_faults],
+                edge_labels=[(wire(a), wire(b)) for a, b in q.edge_faults],
+            )
+            result = decode_distance(wire(q.s), wire(q.t), faults)
+            expected = exact.connectivity(
+                q.s, q.t, vertex_faults=q.vertex_faults, edge_faults=q.edge_faults
+            )
+            assert (not math.isinf(result.distance)) == expected
+
+    def test_on_trees(self):
+        g = random_tree(40, seed=3)
+        scheme = ForbiddenSetConnectivityLabeling(g)
+        exact = ExactRecomputeOracle(g)
+        wire = lambda v: decode_connectivity_label(
+            encode_connectivity_label(scheme.label(v))
+        )
+        for q in random_queries(g, 20, max_vertex_faults=3, seed=3):
+            faults = FaultSet(vertex_labels=[wire(f) for f in q.vertex_faults])
+            result = decode_distance(wire(q.s), wire(q.t), faults)
+            expected = exact.connectivity(q.s, q.t, vertex_faults=q.vertex_faults)
+            assert (not math.isinf(result.distance)) == expected
+
+    def test_connectivity_bits_reported(self):
+        g = cycle_graph(16)
+        scheme = ForbiddenSetConnectivityLabeling(g)
+        stats = scheme.connectivity_bits([0, 4, 8])
+        full = scheme.label_statistics([0, 4, 8])
+        assert 0 < stats["max_bits"] < full["max_bits"]

@@ -1,0 +1,145 @@
+"""Tests for forbidden-set label construction (the 'Labels' paragraph)."""
+
+import pytest
+
+from repro.exceptions import LabelingError
+from repro.graphs import Graph, bfs_distances
+from repro.graphs.generators import cycle_graph, grid_graph, path_graph
+from repro.labeling import ForbiddenSetLabeling, LabelingOptions
+from repro.labeling.construction import LabelBuilder
+
+
+@pytest.fixture(scope="module")
+def grid_scheme():
+    return ForbiddenSetLabeling(grid_graph(8, 8), epsilon=1.0)
+
+
+class TestOptions:
+    def test_invalid_low_level(self):
+        with pytest.raises(LabelingError):
+            LabelingOptions(low_level="bogus")
+
+    def test_defaults(self):
+        assert LabelingOptions().low_level == "full"
+
+
+class TestBuilder:
+    def test_empty_graph_rejected(self):
+        with pytest.raises(LabelingError):
+            LabelBuilder(Graph(0), epsilon=1.0)
+
+    def test_out_of_range_vertex(self):
+        builder = LabelBuilder(path_graph(4), epsilon=1.0)
+        with pytest.raises(LabelingError):
+            builder.build_label(4)
+
+    def test_label_has_every_level(self, grid_scheme):
+        label = grid_scheme.label(0)
+        assert sorted(label.levels) == list(grid_scheme.params.levels())
+
+    def test_owner_always_a_point(self, grid_scheme):
+        label = grid_scheme.label(27)
+        for level_label in label.levels.values():
+            assert level_label.points[27] == 0
+
+    def test_point_distances_are_exact(self, grid_scheme):
+        g = grid_graph(8, 8)
+        truth = bfs_distances(g, 11)
+        label = grid_scheme.label(11)
+        for level_label in label.levels.values():
+            for point, dist in level_label.points.items():
+                assert dist == truth[point]
+
+    def test_points_come_from_the_right_net(self, grid_scheme):
+        params = grid_scheme.params
+        builder = grid_scheme._builder
+        label = grid_scheme.label(5)
+        for i, level_label in label.levels.items():
+            net = builder.hierarchy.net(params.net_level(i))
+            for point in level_label.points:
+                assert point in net or point == 5
+
+    def test_points_respect_ball_radius(self, grid_scheme):
+        params = grid_scheme.params
+        label = grid_scheme.label(36)
+        for i, level_label in label.levels.items():
+            assert all(d <= params.r(i) for d in level_label.points.values())
+
+    def test_edges_respect_length_cap(self, grid_scheme):
+        params = grid_scheme.params
+        label = grid_scheme.label(36)
+        for i, level_label in label.levels.items():
+            lam = params.lam(i)
+            for (x, y), weight in level_label.edges.items():
+                assert x < y
+                assert 1 <= weight <= lam
+                assert x in level_label.points and y in level_label.points
+
+    def test_edge_weights_are_true_distances(self, grid_scheme):
+        g = grid_graph(8, 8)
+        label = grid_scheme.label(20)
+        for level_label in label.levels.values():
+            for (x, y), weight in level_label.edges.items():
+                assert bfs_distances(g, x, radius=weight)[y] == weight
+
+    def test_lowest_level_contains_graph_edges(self, grid_scheme):
+        """Level c+1 must store the actual graph edges inside the ball."""
+        g = grid_graph(8, 8)
+        params = grid_scheme.params
+        lowest = params.c + 1
+        label = grid_scheme.label(0)
+        ball = bfs_distances(g, 0, radius=params.r(lowest))
+        for u, v in g.edges():
+            if u in ball and v in ball:
+                assert label.levels[lowest].edges.get((u, v)) == 1
+
+    def test_low_level_completeness_full_mode(self):
+        """Faithful mode: *all* pairs within lambda are present at level c+1."""
+        g = cycle_graph(24)
+        scheme = ForbiddenSetLabeling(g, epsilon=1.0)
+        params = scheme.params
+        lowest = params.c + 1
+        label = scheme.label(0)
+        level_label = label.levels[lowest]
+        points = list(level_label.points)
+        for a in points:
+            dist_a = bfs_distances(g, a, radius=params.lam(lowest))
+            for b in points:
+                if b <= a:
+                    continue
+                d = dist_a.get(b)
+                if d is not None and d <= params.lam(lowest):
+                    assert level_label.edges[(a, b)] == d
+
+    def test_unit_mode_smaller_lowest_level(self):
+        g = grid_graph(7, 7)
+        full = ForbiddenSetLabeling(g, epsilon=1.0)
+        unit = ForbiddenSetLabeling(
+            g, epsilon=1.0, options=LabelingOptions(low_level="unit")
+        )
+        lowest = full.params.c + 1
+        v = 24
+        assert (
+            unit.label(v).levels[lowest].num_edges()
+            < full.label(v).levels[lowest].num_edges()
+        )
+
+    def test_unit_mode_keeps_higher_levels_identical(self):
+        g = grid_graph(7, 7)
+        full = ForbiddenSetLabeling(g, epsilon=1.0)
+        unit = ForbiddenSetLabeling(
+            g, epsilon=1.0, options=LabelingOptions(low_level="unit")
+        )
+        lowest = full.params.c + 1
+        for i in full.params.levels():
+            if i == lowest:
+                continue
+            assert full.label(3).levels[i].edges == unit.label(3).levels[i].edges
+
+    def test_single_vertex_graph(self):
+        scheme = ForbiddenSetLabeling(Graph(1), epsilon=1.0)
+        label = scheme.label(0)
+        assert all(lvl.points == {0: 0} for lvl in label.levels.values())
+
+    def test_labels_cached(self, grid_scheme):
+        assert grid_scheme.label(1) is grid_scheme.label(1)

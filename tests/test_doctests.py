@@ -1,0 +1,40 @@
+"""Run the doctest examples embedded in public modules."""
+
+import doctest
+
+import pytest
+
+import repro
+import repro.graphs.graph
+import repro.graphs.weighted
+import repro.labeling.failure_free
+import repro.labeling.params
+import repro.labeling.scheme
+import repro.labeling.weighted
+import repro.nets.hierarchy
+import repro.oracle.persistence
+import repro.routing.scheme
+import repro.util.bitio
+import repro.util.pqueue
+
+MODULES = [
+    repro,
+    repro.graphs.graph,
+    repro.graphs.weighted,
+    repro.labeling.failure_free,
+    repro.labeling.params,
+    repro.labeling.scheme,
+    repro.labeling.weighted,
+    repro.nets.hierarchy,
+    repro.oracle.persistence,
+    repro.routing.scheme,
+    repro.util.bitio,
+    repro.util.pqueue,
+]
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_module_doctests(module):
+    result = doctest.testmod(module, verbose=False)
+    assert result.failed == 0, f"{module.__name__}: {result.failed} doctest failures"
+    assert result.attempted > 0

@@ -1,0 +1,29 @@
+"""Smoke tests: every example script must run cleanly."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = sorted(
+    (pathlib.Path(__file__).resolve().parent.parent / "examples").glob("*.py")
+)
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.stem)
+def test_example_runs(script):
+    result = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert result.stdout  # every example narrates what it does
+
+
+def test_examples_exist():
+    assert len(EXAMPLES) >= 4
+    names = {p.stem for p in EXAMPLES}
+    assert "quickstart" in names

@@ -1,0 +1,69 @@
+"""Tests for the array-based BFS: must match the reference implementation."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs import bfs_distances, from_edge_list
+from repro.graphs.fastbfs import BfsScratch
+from repro.graphs.generators import cycle_graph, grid_graph, random_tree
+
+
+class TestEquivalence:
+    def test_unbounded_matches_reference(self):
+        g = grid_graph(7, 7)
+        scratch = BfsScratch(g)
+        for source in (0, 24, 48):
+            assert scratch.distances(source) == bfs_distances(g, source)
+
+    def test_bounded_matches_reference(self):
+        g = grid_graph(7, 7)
+        scratch = BfsScratch(g)
+        for radius in (0, 1, 3, 10):
+            assert scratch.distances(24, radius=radius) == bfs_distances(
+                g, 24, radius=radius
+            )
+
+    def test_reuse_across_sources(self):
+        g = cycle_graph(20)
+        scratch = BfsScratch(g)
+        for source in range(20):
+            assert scratch.distances(source, radius=4) == bfs_distances(
+                g, source, radius=4
+            )
+
+    def test_restricted(self):
+        g = grid_graph(5, 5)
+        scratch = BfsScratch(g)
+        members = {0, 7, 13, 24}
+        expected = {
+            v: d for v, d in bfs_distances(g, 12, radius=3).items() if v in members
+        }
+        assert scratch.restricted(12, 3, members) == expected
+
+    def test_disconnected(self):
+        g = from_edge_list(5, [(0, 1), (2, 3)])
+        scratch = BfsScratch(g)
+        assert scratch.distances(0) == {0: 0, 1: 1}
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.integers(2, 40),
+    st.integers(0, 10**6),
+    st.integers(0, 8),
+)
+def test_equivalence_property(n, seed, radius):
+    g = random_tree(n, seed)
+    # add a few extra edges to leave tree-land
+    import random
+
+    rng = random.Random(seed)
+    for _ in range(min(5, n // 3)):
+        a, b = rng.sample(range(n), 2)
+        if not g.has_edge(a, b):
+            g.add_edge(a, b)
+    scratch = BfsScratch(g)
+    source = seed % n
+    assert scratch.distances(source, radius=radius) == bfs_distances(
+        g, source, radius=radius
+    )

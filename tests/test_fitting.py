@@ -1,0 +1,107 @@
+"""Tests for the growth-law fitting helpers."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.fitting import (
+    fit_exponential,
+    fit_polylog,
+    fit_power_law,
+    r_squared,
+)
+
+
+class TestPowerLaw:
+    def test_exact_quadratic(self):
+        xs = [1, 2, 4, 8, 16]
+        ys = [3 * x * x for x in xs]
+        a, k = fit_power_law(xs, ys)
+        assert a == pytest.approx(3, rel=1e-9)
+        assert k == pytest.approx(2, rel=1e-9)
+
+    def test_noisy_linear(self):
+        rng = random.Random(0)
+        xs = [float(x) for x in range(1, 40)]
+        ys = [5 * x * (1 + 0.01 * rng.uniform(-1, 1)) for x in xs]
+        a, k = fit_power_law(xs, ys)
+        assert k == pytest.approx(1, abs=0.05)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            fit_power_law([1, 2], [0, 3])
+
+    def test_rejects_single_point(self):
+        with pytest.raises(ValueError):
+            fit_power_law([2], [4])
+
+    def test_rejects_constant_x(self):
+        with pytest.raises(ValueError):
+            fit_power_law([2, 2], [4, 5])
+
+
+class TestPolylog:
+    def test_exact_logsquared(self):
+        xs = [4, 16, 64, 256, 1024]
+        ys = [7 * math.log2(x) ** 2 for x in xs]
+        a, k = fit_polylog(xs, ys)
+        assert a == pytest.approx(7, rel=1e-9)
+        assert k == pytest.approx(2, rel=1e-9)
+
+    def test_rejects_small_x(self):
+        with pytest.raises(ValueError):
+            fit_polylog([1, 2], [1, 2])
+
+
+class TestExponential:
+    def test_exact_doubling(self):
+        xs = [0, 1, 2, 3, 4]
+        ys = [5 * 2**x for x in xs]
+        a, b = fit_exponential(xs, ys)
+        assert a == pytest.approx(5, rel=1e-9)
+        assert b == pytest.approx(2, rel=1e-9)
+
+
+class TestRSquared:
+    def test_perfect_fit(self):
+        xs = [1, 2, 3]
+        ys = [2, 4, 6]
+        assert r_squared(xs, ys, lambda x: 2 * x) == pytest.approx(1.0)
+
+    def test_bad_fit_is_low(self):
+        xs = [1, 2, 3, 4]
+        ys = [1, 4, 9, 16]
+        assert r_squared(xs, ys, lambda x: 0.0) < 0.5
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            r_squared([], [], lambda x: x)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    st.floats(0.1, 10),
+    st.floats(0.2, 3),
+    st.integers(4, 12),
+)
+def test_power_law_recovery_property(a, k, num_points):
+    xs = [float(2**i) for i in range(1, num_points + 1)]
+    ys = [a * x**k for x in xs]
+    a_hat, k_hat = fit_power_law(xs, ys)
+    assert a_hat == pytest.approx(a, rel=1e-6)
+    assert k_hat == pytest.approx(k, rel=1e-6)
+
+
+def test_fits_distinguish_shapes():
+    """A log^2 n series is fit much better by polylog than power law."""
+    xs = [float(2**i) for i in range(3, 14)]
+    ys = [10 * math.log2(x) ** 2 for x in xs]
+    a_pl, k_pl = fit_polylog(xs, ys)
+    a_pw, k_pw = fit_power_law(xs, ys)
+    r2_polylog = r_squared(xs, ys, lambda x: a_pl * math.log2(x) ** k_pl)
+    r2_power = r_squared(xs, ys, lambda x: a_pw * x**k_pw)
+    assert r2_polylog > r2_power
+    assert k_pw < 0.6  # the power-law exponent collapses toward 0

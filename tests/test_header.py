@@ -1,0 +1,71 @@
+"""Tests for routing packet-header encoding."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.graphs.generators import grid_graph
+from repro.labeling import ForbiddenSetLabeling
+from repro.routing.header import (
+    PacketHeader,
+    decode_header,
+    encode_header,
+    header_for_route,
+)
+
+
+class TestRoundtrip:
+    def test_simple(self):
+        header = PacketHeader(
+            source=0,
+            target=9,
+            waypoints=(0, 4, 9),
+            forbidden_vertices=(2, 3),
+            forbidden_edges=((5, 6),),
+        )
+        assert decode_header(encode_header(header)) == header
+
+    def test_empty_faults(self):
+        header = PacketHeader(source=1, target=2, waypoints=(1, 2))
+        assert decode_header(encode_header(header)) == header
+
+    def test_bit_length_matches_bytes(self):
+        header = PacketHeader(source=0, target=5, waypoints=(0, 3, 5))
+        bits = header.bit_length()
+        assert (bits + 7) // 8 == len(encode_header(header))
+
+
+class TestHeaderForRoute:
+    def test_from_query_result(self):
+        g = grid_graph(6, 6)
+        scheme = ForbiddenSetLabeling(g, epsilon=1.0)
+        faults = scheme.fault_set(vertex_faults=[14], edge_faults=[(0, 1)])
+        result = scheme.query(0, 35, vertex_faults=[14], edge_faults=[(0, 1)])
+        header = header_for_route(result, faults)
+        assert header.source == 0 and header.target == 35
+        assert header.waypoints == result.path
+        assert header.forbidden_vertices == (14,)
+        assert header.forbidden_edges == ((0, 1),)
+        assert decode_header(encode_header(header)) == header
+
+    def test_header_size_scales_with_plan(self):
+        short = PacketHeader(source=0, target=1, waypoints=(0, 1))
+        long = PacketHeader(source=0, target=1, waypoints=tuple(range(50)))
+        assert long.bit_length() > short.bit_length()
+
+
+@given(
+    st.integers(0, 1000),
+    st.integers(0, 1000),
+    st.lists(st.integers(0, 10**6), max_size=50),
+    st.lists(st.integers(0, 10**4), max_size=10),
+    st.lists(st.tuples(st.integers(0, 10**4), st.integers(0, 10**4)), max_size=10),
+)
+def test_roundtrip_property(source, target, waypoints, fv, fe):
+    header = PacketHeader(
+        source=source,
+        target=target,
+        waypoints=tuple(waypoints),
+        forbidden_vertices=tuple(fv),
+        forbidden_edges=tuple(fe),
+    )
+    assert decode_header(encode_header(header)) == header

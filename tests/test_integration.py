@@ -1,0 +1,134 @@
+"""Cross-component integration tests.
+
+These exercise whole pipelines: the same instance served through the
+live scheme, the serialized oracle, the on-disk database and the router
+must agree; construction must be deterministic; the distributed model
+must hold end-to-end (decoder works from bytes shipped over a "wire").
+"""
+
+import io
+import math
+
+import pytest
+
+from repro.baselines import ExactRecomputeOracle
+from repro.connectivity import ForbiddenSetConnectivityLabeling
+from repro.graphs.generators import grid_graph, road_like_graph
+from repro.labeling import ForbiddenSetLabeling, encode_label
+from repro.oracle import DynamicDistanceOracle, ForbiddenSetDistanceOracle
+from repro.oracle.persistence import LabelDatabase, save_labels
+from repro.routing import ForbiddenSetRouting
+from repro.workloads import random_queries
+
+
+@pytest.fixture(scope="module")
+def instance():
+    graph = road_like_graph(8, 8, removal_fraction=0.1, seed=9)
+    return graph, random_queries(
+        graph, 20, max_vertex_faults=3, max_edge_faults=1, seed=9
+    )
+
+
+class TestAllFrontendsAgree:
+    def test_scheme_oracle_database_consistency(self, instance):
+        graph, queries = instance
+        scheme = ForbiddenSetLabeling(graph, epsilon=1.0)
+        oracle = ForbiddenSetDistanceOracle(graph, epsilon=1.0)
+        buffer = io.BytesIO()
+        save_labels(scheme, buffer)
+        db = LabelDatabase.load(io.BytesIO(buffer.getvalue()))
+        for q in queries:
+            kwargs = dict(vertex_faults=q.vertex_faults, edge_faults=q.edge_faults)
+            a = scheme.query(q.s, q.t, **kwargs).distance
+            b = oracle.query(q.s, q.t, **kwargs).distance
+            c = db.query(q.s, q.t, **kwargs).distance
+            assert a == b == c
+
+    def test_router_delivers_within_scheme_estimate(self, instance):
+        graph, queries = instance
+        router = ForbiddenSetRouting(graph, epsilon=1.0)
+        exact = ExactRecomputeOracle(graph)
+        for q in queries:
+            kwargs = dict(vertex_faults=q.vertex_faults, edge_faults=q.edge_faults)
+            d_true = exact.query(q.s, q.t, **kwargs)
+            if math.isinf(d_true):
+                continue
+            estimate = router.labeling.query(q.s, q.t, **kwargs)
+            result = router.route(q.s, q.t, **kwargs)
+            # delivery is at least as good as the plan promised
+            assert result.hops <= estimate.distance
+
+    def test_connectivity_scheme_agrees_with_distance_scheme(self, instance):
+        graph, queries = instance
+        conn = ForbiddenSetConnectivityLabeling(graph)
+        dist = ForbiddenSetLabeling(graph, epsilon=1.0)
+        for q in queries:
+            kwargs = dict(vertex_faults=q.vertex_faults, edge_faults=q.edge_faults)
+            assert conn.connected(q.s, q.t, **kwargs) == (
+                not math.isinf(dist.query(q.s, q.t, **kwargs).distance)
+            )
+
+    def test_dynamic_oracle_tracks_incremental_deletions(self, instance):
+        graph, _ = instance
+        dyn = DynamicDistanceOracle(graph, epsilon=1.0, rebuild_threshold=2)
+        exact = ExactRecomputeOracle(graph)
+        deleted = []
+        for v in (20, 33, 41):
+            dyn.delete_vertex(v)
+            deleted.append(v)
+            d_true = exact.query(0, 63, vertex_faults=deleted)
+            d_hat = dyn.query(0, 63)
+            if math.isinf(d_true):
+                assert math.isinf(d_hat)
+            else:
+                assert d_true <= d_hat <= 2 * d_true
+
+
+class TestDeterminism:
+    def test_two_builds_identical_bytes(self):
+        graph = grid_graph(5, 5)
+        first = ForbiddenSetLabeling(graph, epsilon=1.0)
+        second = ForbiddenSetLabeling(graph, epsilon=1.0)
+        for v in graph.vertices():
+            assert encode_label(first.label(v)) == encode_label(second.label(v))
+
+    def test_query_results_stable(self):
+        graph = grid_graph(5, 5)
+        scheme = ForbiddenSetLabeling(graph, epsilon=1.0)
+        results = [
+            scheme.query(0, 24, vertex_faults=[12]).distance for _ in range(3)
+        ]
+        assert len(set(results)) == 1
+
+
+class TestDistributedModelEndToEnd:
+    def test_query_over_simulated_wire(self, instance):
+        """Labels produced on a 'server', shipped as bytes, decoded on a
+        'client' with no graph access — the full distributed story."""
+        from repro.labeling import FaultSet, decode_distance, decode_label
+
+        graph, queries = instance
+        scheme = ForbiddenSetLabeling(graph, epsilon=1.0)
+        exact = ExactRecomputeOracle(graph)
+
+        def ship(v: int) -> bytes:
+            return encode_label(scheme.label(v))
+
+        for q in queries[:8]:
+            faults = FaultSet(
+                vertex_labels=[decode_label(ship(f)) for f in q.vertex_faults],
+                edge_labels=[
+                    (decode_label(ship(a)), decode_label(ship(b)))
+                    for a, b in q.edge_faults
+                ],
+            )
+            result = decode_distance(
+                decode_label(ship(q.s)), decode_label(ship(q.t)), faults
+            )
+            d_true = exact.query(
+                q.s, q.t, vertex_faults=q.vertex_faults, edge_faults=q.edge_faults
+            )
+            if math.isinf(d_true):
+                assert math.isinf(result.distance)
+            else:
+                assert d_true <= result.distance <= 2 * d_true

@@ -1,0 +1,88 @@
+"""Property-based tests for the network recovery simulator."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs.components import is_connected
+from repro.graphs.generators import random_tree
+from repro.routing.network_sim import NetworkSimulator
+
+
+def random_connected_graph(n, extra_edges, seed):
+    g = random_tree(n, seed)
+    rng = random.Random(seed ^ 0xD00D)
+    for _ in range(extra_edges):
+        a, b = rng.sample(range(n), 2)
+        if not g.has_edge(a, b):
+            g.add_edge(a, b)
+    return g
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.data())
+def test_delivery_matches_reachability(data):
+    """A packet is delivered iff the endpoints are connected in truth,
+    and a delivered route never touches a truly failed element."""
+    n = data.draw(st.integers(6, 22), label="n")
+    seed = data.draw(st.integers(0, 10**6), label="seed")
+    graph = random_connected_graph(n, n // 2, seed)
+    rng = random.Random(seed)
+    s, t = rng.sample(range(n), 2)
+    candidates = [v for v in range(n) if v not in (s, t)]
+    failed = rng.sample(candidates, min(2, len(candidates)))
+    silent = data.draw(st.booleans(), label="silent")
+
+    sim = NetworkSimulator(graph, probe_on_failure=not silent)
+    for v in failed:
+        sim.fail_vertex(v)
+
+    survivor = graph.subgraph_without(removed_vertices=failed)
+    reachable = t in __import__(
+        "repro.graphs.traversal", fromlist=["bfs_distances"]
+    ).bfs_distances(survivor, s)
+
+    report = sim.send_packet(s, t)
+    assert report.delivered == reachable
+    if report.delivered:
+        assert not set(report.route) & set(failed)
+        for a, b in zip(report.route, report.route[1:]):
+            assert graph.has_edge(a, b)
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(6, 24), st.integers(0, 10**6))
+def test_flooding_stabilizes(n, seed):
+    """After enough flooding rounds knowledge reaches a fixed point, and
+    when the survivor graph is connected the fixed point is full awareness."""
+    graph = random_connected_graph(n, 2, seed)
+    rng = random.Random(seed)
+    failed = rng.sample(range(n), min(2, n - 2))
+    sim = NetworkSimulator(graph)
+    for v in failed:
+        sim.fail_vertex(v)
+    sim.propagate(rounds=n)
+    assert sim.propagate(rounds=1) == 0  # fixed point reached
+    survivor = graph.subgraph_without(removed_vertices=failed)
+    live = [v for v in range(n) if v not in failed]
+    survivor_live_connected = is_connected(_induced_on_live(survivor, live))
+    # flooding can only spread facts some live router initially learned:
+    # a failed vertex whose neighbors all failed too is never discovered
+    every_fault_witnessed = all(
+        any(u not in failed for u in graph.neighbors(f)) for f in failed
+    )
+    if survivor_live_connected and every_fault_witnessed:
+        assert sim.awareness() == 1.0
+
+
+def _induced_on_live(graph, live):
+    """The survivor graph restricted to live vertices (re-indexed)."""
+    from repro.graphs import Graph
+
+    index = {v: i for i, v in enumerate(live)}
+    g = Graph(len(live))
+    for u, v in graph.edges():
+        if u in index and v in index:
+            g.add_edge(index[u], index[v])
+    return g

@@ -1,0 +1,144 @@
+"""Tests for the centralized and dynamic oracles."""
+
+import math
+
+import pytest
+
+from repro.baselines import ExactRecomputeOracle
+from repro.exceptions import QueryError
+from repro.graphs.generators import cycle_graph, grid_graph, path_graph
+from repro.oracle import DynamicDistanceOracle, ForbiddenSetDistanceOracle
+from repro.workloads import random_queries
+
+
+class TestStaticOracle:
+    @pytest.fixture(scope="class")
+    def grid_oracle(self):
+        g = grid_graph(6, 6)
+        return g, ForbiddenSetDistanceOracle(g, epsilon=1.0)
+
+    def test_matches_exact_within_stretch(self, grid_oracle):
+        g, oracle = grid_oracle
+        exact = ExactRecomputeOracle(g)
+        for q in random_queries(g, 30, max_vertex_faults=3, max_edge_faults=1, seed=1):
+            d_true = exact.query(
+                q.s, q.t, vertex_faults=q.vertex_faults, edge_faults=q.edge_faults
+            )
+            d_hat = oracle.query(
+                q.s, q.t, vertex_faults=q.vertex_faults, edge_faults=q.edge_faults
+            ).distance
+            if math.isinf(d_true):
+                assert math.isinf(d_hat)
+            else:
+                assert d_true <= d_hat <= 2 * d_true
+
+    def test_size_accounting(self, grid_oracle):
+        _, oracle = grid_oracle
+        assert oracle.size_bits() >= 36 * oracle.max_label_bits() / 36
+        assert oracle.max_label_bits() > 0
+
+    def test_out_of_range_vertex(self, grid_oracle):
+        _, oracle = grid_oracle
+        with pytest.raises(QueryError):
+            oracle.query(0, 99)
+
+    def test_bad_forbidden_edge(self, grid_oracle):
+        _, oracle = grid_oracle
+        with pytest.raises(QueryError):
+            oracle.query(0, 5, edge_faults=[(0, 35)])
+
+    def test_oracle_size_independent_of_fault_count(self):
+        """The headline property: one build serves any |F|."""
+        g = cycle_graph(24)
+        oracle = ForbiddenSetDistanceOracle(g, epsilon=1.0)
+        size = oracle.size_bits()
+        for k in (0, 1, 3, 6):
+            faults = list(range(1, 1 + k))
+            oracle.query(0, 12, vertex_faults=faults)
+            assert oracle.size_bits() == size  # untouched by queries
+
+
+class TestDynamicOracle:
+    def test_delete_and_query(self):
+        g = cycle_graph(20)
+        dyn = DynamicDistanceOracle(g, epsilon=1.0)
+        assert dyn.query(0, 5) == 5
+        dyn.delete_vertex(2)
+        d = dyn.query(0, 5)
+        assert 15 <= d <= 30  # long way around, within stretch 2
+
+    def test_delete_edge_and_restore(self):
+        g = path_graph(10)
+        dyn = DynamicDistanceOracle(g, epsilon=1.0)
+        dyn.delete_edge(4, 5)
+        assert math.isinf(dyn.query(0, 9))
+        dyn.restore_edge(4, 5)
+        assert dyn.query(0, 9) == 9
+
+    def test_restore_vertex(self):
+        g = cycle_graph(16)
+        dyn = DynamicDistanceOracle(g, epsilon=1.0)
+        dyn.delete_vertex(3)
+        dyn.restore_vertex(3)
+        assert dyn.query(0, 6) == 6
+
+    def test_query_deleted_endpoint_rejected(self):
+        dyn = DynamicDistanceOracle(path_graph(6), epsilon=1.0)
+        dyn.delete_vertex(2)
+        with pytest.raises(QueryError):
+            dyn.query(2, 4)
+
+    def test_delete_missing_edge_rejected(self):
+        dyn = DynamicDistanceOracle(path_graph(6), epsilon=1.0)
+        with pytest.raises(QueryError):
+            dyn.delete_edge(0, 3)
+
+    def test_rebuild_triggers_at_threshold(self):
+        g = grid_graph(6, 6)
+        dyn = DynamicDistanceOracle(g, epsilon=1.0, rebuild_threshold=3)
+        for v in (7, 9, 21):
+            dyn.delete_vertex(v)
+        assert dyn.rebuilds == 0
+        dyn.delete_vertex(27)  # 4 > 3 -> rebuild
+        assert dyn.rebuilds == 1
+        assert dyn.pending_fault_count() == 0
+
+    def test_queries_correct_across_rebuilds(self):
+        g = grid_graph(6, 6)
+        dyn = DynamicDistanceOracle(g, epsilon=1.0, rebuild_threshold=2)
+        exact = ExactRecomputeOracle(g)
+        deleted = []
+        for v in (7, 9, 21, 27, 14):
+            dyn.delete_vertex(v)
+            deleted.append(v)
+            d_true = exact.query(0, 35, vertex_faults=deleted)
+            d_hat = dyn.query(0, 35)
+            if math.isinf(d_true):
+                assert math.isinf(d_hat)
+            else:
+                assert d_true <= d_hat <= 2 * d_true
+
+    def test_restore_after_bake_rebuilds(self):
+        g = cycle_graph(16)
+        dyn = DynamicDistanceOracle(g, epsilon=1.0, rebuild_threshold=1)
+        dyn.delete_vertex(3)
+        dyn.delete_vertex(8)  # exceeds threshold -> baked
+        rebuilds = dyn.rebuilds
+        assert rebuilds >= 1
+        dyn.restore_vertex(3)
+        assert dyn.rebuilds == rebuilds + 1
+        assert dyn.query(2, 4) == 2
+
+    def test_edge_fault_on_deleted_vertex_is_dropped(self):
+        g = cycle_graph(12)
+        dyn = DynamicDistanceOracle(g, epsilon=1.0, rebuild_threshold=1)
+        dyn.delete_vertex(3)
+        dyn.delete_vertex(7)  # bake both
+        dyn.delete_edge(3, 4)  # incident to a deleted vertex
+        exact = ExactRecomputeOracle(g)
+        d_true = exact.query(0, 5, vertex_faults=[3, 7])
+        d_hat = dyn.query(0, 5)
+        if math.isinf(d_true):
+            assert math.isinf(d_hat)
+        else:
+            assert d_true <= d_hat <= 2 * d_true

@@ -1,0 +1,83 @@
+"""Tests for the parameter schedule (Section 2.1, Claim 1)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.exceptions import LabelingError
+from repro.labeling.params import ParamSchedule, c_for_epsilon
+
+
+class TestCForEpsilon:
+    def test_paper_formula(self):
+        # c = max(ceil(log2(6/eps)), 2)
+        assert c_for_epsilon(6.0) == 2  # log2(1) = 0 -> floor at 2
+        assert c_for_epsilon(3.0) == 2  # log2(2) = 1 -> floor at 2
+        assert c_for_epsilon(1.5) == 2
+        assert c_for_epsilon(1.0) == 3
+        assert c_for_epsilon(0.5) == 4
+        assert c_for_epsilon(0.1) == 6
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(LabelingError):
+            c_for_epsilon(0)
+        with pytest.raises(LabelingError):
+            c_for_epsilon(-1)
+
+
+class TestSchedule:
+    def test_paper_values(self):
+        sched = ParamSchedule.for_graph(epsilon=1.0, num_vertices=256)
+        c = sched.c
+        for i in sched.levels():
+            assert sched.rho(i) == 2 ** (i - c)
+            assert sched.lam(i) == 2 ** (i + 1)
+            assert sched.mu(i) == sched.rho(i) + sched.lam(i)
+            assert sched.r(i) == sched.mu(i + 1) + 2**i + sched.rho(i + 1)
+
+    def test_levels_range(self):
+        sched = ParamSchedule.for_graph(epsilon=1.0, num_vertices=1024)
+        assert sched.levels() == range(sched.c + 1, 11)
+
+    def test_tiny_graph_levels_never_empty(self):
+        # paper assumes log n > c; we extend top_level so I stays non-empty
+        sched = ParamSchedule.for_graph(epsilon=0.1, num_vertices=4)
+        assert len(sched.levels()) >= 2
+
+    def test_net_level_offset(self):
+        sched = ParamSchedule.for_graph(epsilon=1.0, num_vertices=128)
+        i = sched.c + 1
+        assert sched.net_level(i) == 0  # lowest level uses N_0 = V(G)
+
+    def test_net_level_out_of_range(self):
+        sched = ParamSchedule.for_graph(epsilon=1.0, num_vertices=128)
+        with pytest.raises(LabelingError):
+            sched.net_level(sched.c)  # below I
+
+    def test_validate_passes(self):
+        ParamSchedule.for_graph(epsilon=0.25, num_vertices=4096).validate()
+
+    def test_stretch_bound_never_exceeds_eps(self):
+        for eps in (0.1, 0.5, 1.0, 2.0, 10.0):
+            sched = ParamSchedule.for_graph(eps, 512)
+            assert sched.stretch_bound() <= 1 + eps + 1e-12
+
+    def test_empty_graph_rejected(self):
+        with pytest.raises(LabelingError):
+            ParamSchedule.for_graph(1.0, 0)
+
+
+@given(
+    st.floats(min_value=0.01, max_value=16.0, allow_nan=False),
+    st.integers(min_value=1, max_value=10**6),
+)
+def test_claim_1a_property(epsilon, n):
+    """Claim 1(a): lam_i >= rho_i + rho_{i+1} + 2^i for every level."""
+    sched = ParamSchedule.for_graph(epsilon, n)
+    sched.validate()
+    for i in sched.levels():
+        assert sched.lam(i) >= sched.rho(i) + sched.rho(i + 1) + 2**i
+        # Lemma 2.5: r_i < 2^{i+3}
+        assert sched.r(i) < 2 ** (i + 3)
+        # protected balls are strictly inside the label ball
+        assert sched.lam(i) < sched.r(i)

@@ -1,0 +1,117 @@
+"""Tests for the on-disk label database."""
+
+import io
+import math
+
+import pytest
+
+from repro.baselines import ExactRecomputeOracle
+from repro.exceptions import EncodingError, QueryError
+from repro.graphs.generators import cycle_graph, grid_graph
+from repro.labeling import ForbiddenSetLabeling
+from repro.oracle.persistence import LabelDatabase, save_labels
+
+
+@pytest.fixture(scope="module")
+def database(tmp_path_factory):
+    g = grid_graph(6, 6)
+    scheme = ForbiddenSetLabeling(g, epsilon=1.0)
+    path = tmp_path_factory.mktemp("db") / "labels.fsdl"
+    size = save_labels(scheme, path)
+    assert size == path.stat().st_size
+    return g, LabelDatabase.load(path)
+
+
+class TestRoundtrip:
+    def test_header_fields(self, database):
+        g, db = database
+        assert db.num_vertices == 36
+        assert db.epsilon == 1.0
+        assert db.c == 3
+
+    def test_queries_match_live_scheme(self, database):
+        g, db = database
+        exact = ExactRecomputeOracle(g)
+        for s, t, faults in [(0, 35, []), (0, 35, [14, 21]), (5, 30, [17])]:
+            d_true = exact.query(s, t, vertex_faults=faults)
+            d_hat = db.query(s, t, vertex_faults=faults).distance
+            if math.isinf(d_true):
+                assert math.isinf(d_hat)
+            else:
+                assert d_true <= d_hat <= 2 * d_true
+
+    def test_edge_faults(self, database):
+        g, db = database
+        assert db.query(0, 1, edge_faults=[(0, 1)]).distance > 1
+
+    def test_connectivity(self, database):
+        _, db = database
+        assert db.connectivity(0, 35)
+        wall = [6 * 2 + y for y in range(6)]
+        # wall is a column of the 6x6 grid: vertices 12..17
+        assert not db.connectivity(0, 35, vertex_faults=wall)
+
+    def test_size_bits_positive(self, database):
+        _, db = database
+        assert db.size_bits() > 0
+
+    def test_vertex_range_checked(self, database):
+        _, db = database
+        with pytest.raises(QueryError):
+            db.label(99)
+
+
+class TestWeightedScheme:
+    def test_weighted_labels_roundtrip_through_database(self):
+        import random
+
+        from repro.graphs.weighted import (
+            WeightedGraph,
+            weighted_distances_avoiding,
+        )
+        from repro.labeling.weighted import WeightedForbiddenSetLabeling
+
+        base = grid_graph(5, 5)
+        rng = random.Random(4)
+        g = WeightedGraph(base.num_vertices)
+        for u, v in base.edges():
+            g.add_edge(u, v, rng.randint(1, 4))
+        scheme = WeightedForbiddenSetLabeling(g, epsilon=1.0)
+        buffer = io.BytesIO()
+        save_labels(scheme, buffer)
+        db = LabelDatabase.load(io.BytesIO(buffer.getvalue()))
+        for s, t, faults in [(0, 24, []), (0, 24, [12]), (4, 20, [10, 14])]:
+            d_true = weighted_distances_avoiding(g, s, faults).get(t, math.inf)
+            d_hat = db.query(s, t, vertex_faults=faults).distance
+            if math.isinf(d_true):
+                assert math.isinf(d_hat)
+            else:
+                assert d_true <= d_hat <= scheme.stretch_bound() * d_true
+
+
+class TestFileFormat:
+    def test_in_memory_roundtrip(self):
+        g = cycle_graph(12)
+        scheme = ForbiddenSetLabeling(g, epsilon=2.0)
+        buffer = io.BytesIO()
+        save_labels(scheme, buffer)
+        db = LabelDatabase.load(io.BytesIO(buffer.getvalue()))
+        assert db.query(0, 6).distance == 6
+
+    def test_bad_magic_rejected(self):
+        with pytest.raises(EncodingError):
+            LabelDatabase.load(io.BytesIO(b"NOPE" + b"\x00" * 32))
+
+    def test_truncated_rejected(self):
+        g = cycle_graph(8)
+        scheme = ForbiddenSetLabeling(g, epsilon=1.0)
+        buffer = io.BytesIO()
+        save_labels(scheme, buffer)
+        blob = buffer.getvalue()
+        with pytest.raises(EncodingError):
+            LabelDatabase.load(io.BytesIO(blob[: len(blob) // 2]))
+
+    def test_unsupported_version(self):
+        blob = b"FSDL" + bytes([99]) + b"\x00" * 24
+        with pytest.raises(EncodingError):
+            LabelDatabase.load(io.BytesIO(blob))

@@ -1,0 +1,101 @@
+"""Tests for named, composable routing policies."""
+
+import math
+
+import pytest
+
+from repro.baselines import ExactRecomputeOracle
+from repro.exceptions import QueryError
+from repro.graphs.generators import cycle_graph, grid_graph
+from repro.routing.policy import PolicyRouter
+
+
+@pytest.fixture()
+def router():
+    r = PolicyRouter(grid_graph(6, 6), epsilon=1.0)
+    r.define_policy("no-center", vertices=[14, 15, 20, 21])
+    r.define_policy("no-top-row", vertices=[5, 11, 17, 23, 29])
+    r.define_policy("no-first-link", edges=[(0, 1)])
+    return r
+
+
+class TestPolicyManagement:
+    def test_names_listed(self, router):
+        assert router.policy_names() == [
+            "no-center",
+            "no-first-link",
+            "no-top-row",
+        ]
+
+    def test_redefinition_replaces(self, router):
+        router.define_policy("no-center", vertices=[7])
+        vertices, _ = router.combined_faults(["no-center"])
+        assert vertices == {7}
+
+    def test_drop_policy(self, router):
+        router.drop_policy("no-center")
+        assert "no-center" not in router.policy_names()
+        with pytest.raises(QueryError):
+            router.distance(0, 35, policies=["no-center"])
+
+    def test_bad_policy_contents_rejected(self, router):
+        with pytest.raises(QueryError):
+            router.define_policy("bad-v", vertices=[999])
+        with pytest.raises(QueryError):
+            router.define_policy("bad-e", edges=[(0, 35)])
+
+    def test_unknown_policy_rejected(self, router):
+        with pytest.raises(QueryError):
+            router.route(0, 35, policies=["nope"])
+
+    def test_composition_is_union(self, router):
+        vertices, edges = router.combined_faults(["no-center", "no-first-link"])
+        assert vertices == {14, 15, 20, 21}
+        assert edges == {(0, 1)}
+
+
+class TestPolicyQueries:
+    def test_no_policy_is_plain_routing(self, router):
+        assert router.route(0, 35).hops == 10
+        assert router.distance(0, 35).distance == 10
+
+    def test_route_respects_policy(self, router):
+        result = router.route(0, 35, policies=["no-center"])
+        assert not set(result.route) & {14, 15, 20, 21}
+
+    def test_distance_matches_exact_within_stretch(self, router):
+        g = grid_graph(6, 6)
+        exact = ExactRecomputeOracle(g)
+        for policies in ([], ["no-center"], ["no-center", "no-top-row"]):
+            vertices, edges = router.combined_faults(policies)
+            d_true = exact.query(
+                0, 35, vertex_faults=vertices, edge_faults=edges
+            )
+            d_hat = router.distance(0, 35, policies=policies).distance
+            assert d_true <= d_hat <= 2 * d_true
+
+    def test_edge_policy(self, router):
+        result = router.route(0, 1, policies=["no-first-link"])
+        used = {(min(a, b), max(a, b)) for a, b in zip(result.route, result.route[1:])}
+        assert (0, 1) not in used
+
+    def test_policy_blocking_endpoint_rejected(self, router):
+        with pytest.raises(QueryError):
+            router.distance(14, 35, policies=["no-center"])
+
+    def test_disconnection_under_policies(self):
+        r = PolicyRouter(cycle_graph(12), epsilon=1.0)
+        r.define_policy("cut", vertices=[3, 9])
+        assert math.isinf(r.distance(0, 6, policies=["cut"]).distance)
+
+    def test_sessions_cached_per_composition(self, router):
+        router.distance(0, 35, policies=["no-center"])
+        session_count = len(router._sessions)
+        router.distance(3, 33, policies=["no-center"])
+        assert len(router._sessions) == session_count  # reused
+
+    def test_redefinition_invalidates_session(self, router):
+        first = router.distance(0, 35, policies=["no-center"]).distance
+        router.define_policy("no-center", vertices=[])
+        second = router.distance(0, 35, policies=["no-center"]).distance
+        assert second <= first

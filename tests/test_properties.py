@@ -1,0 +1,130 @@
+"""Property-based tests of the decoder's core invariants.
+
+Random small connected graphs (random trees plus random extra edges) and
+random fault sets; the invariants checked against the exact baseline:
+
+* **sandwich** — ``d_{G\\F} <= delta <= (1+eps) d_{G\\F}``;
+* **connectivity exactness** — ``delta < inf`` iff connected in ``G\\F``;
+* **symmetry** — ``delta(s, t, F) = delta(t, s, F)``;
+* **no-fault consistency** — the empty fault set matches a fault set of
+  elements irrelevant to the component;
+* **codec transparency** — decoding from re-encoded labels changes
+  nothing.
+"""
+
+import math
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import ExactRecomputeOracle
+from repro.graphs.generators import random_tree
+from repro.labeling import (
+    FaultSet,
+    ForbiddenSetLabeling,
+    decode_distance,
+    decode_label,
+    encode_label,
+)
+
+
+def random_connected_graph(n: int, extra_edges: int, seed: int):
+    g = random_tree(n, seed)
+    rng = random.Random(seed ^ 0xBEEF)
+    for _ in range(extra_edges):
+        a, b = rng.sample(range(n), 2)
+        if not g.has_edge(a, b):
+            g.add_edge(a, b)
+    return g
+
+
+def random_instance(data, max_n=28):
+    n = data.draw(st.integers(4, max_n), label="n")
+    seed = data.draw(st.integers(0, 10**6), label="seed")
+    extra = data.draw(st.integers(0, n // 2), label="extra_edges")
+    graph = random_connected_graph(n, extra, seed)
+    s = data.draw(st.integers(0, n - 1), label="s")
+    t = data.draw(
+        st.integers(0, n - 1).filter(lambda v: v != s), label="t"
+    )
+    k = data.draw(st.integers(0, min(4, n - 2)), label="num_faults")
+    candidates = [v for v in range(n) if v not in (s, t)]
+    rng = random.Random(seed ^ 0xF00D)
+    faults = rng.sample(candidates, min(k, len(candidates)))
+    return graph, s, t, faults
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.data())
+def test_sandwich_and_connectivity(data):
+    graph, s, t, faults = random_instance(data)
+    scheme = ForbiddenSetLabeling(graph, epsilon=1.0)
+    exact = ExactRecomputeOracle(graph)
+    d_true = exact.query(s, t, vertex_faults=faults)
+    d_hat = scheme.query(s, t, vertex_faults=faults).distance
+    if math.isinf(d_true):
+        assert math.isinf(d_hat)
+    else:
+        assert d_true <= d_hat <= scheme.stretch_bound() * d_true + 1e-9
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.data())
+def test_symmetry(data):
+    graph, s, t, faults = random_instance(data)
+    scheme = ForbiddenSetLabeling(graph, epsilon=1.0)
+    forward = scheme.query(s, t, vertex_faults=faults).distance
+    backward = scheme.query(t, s, vertex_faults=faults).distance
+    assert forward == backward
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.data())
+def test_edge_fault_consistency(data):
+    """Removing an edge via the fault set equals removing it from G."""
+    graph, s, t, _ = random_instance(data)
+    edges = list(graph.edges())
+    if not edges:
+        return
+    edge = edges[len(edges) // 2]
+    scheme = ForbiddenSetLabeling(graph, epsilon=1.0)
+    exact = ExactRecomputeOracle(graph)
+    d_true = exact.query(s, t, edge_faults=[edge])
+    d_hat = scheme.query(s, t, edge_faults=[edge]).distance
+    if math.isinf(d_true):
+        assert math.isinf(d_hat)
+    else:
+        assert d_true <= d_hat <= scheme.stretch_bound() * d_true + 1e-9
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.data())
+def test_codec_transparency(data):
+    graph, s, t, faults = random_instance(data, max_n=20)
+    scheme = ForbiddenSetLabeling(graph, epsilon=1.0)
+    live = scheme.query(s, t, vertex_faults=faults)
+    wire = lambda v: decode_label(encode_label(scheme.label(v)))
+    shipped = decode_distance(
+        wire(s), wire(t), FaultSet(vertex_labels=[wire(f) for f in faults])
+    )
+    assert live.distance == shipped.distance
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.data())
+def test_sketch_path_is_realizable(data):
+    """Consecutive sketch-path vertices are at the claimed G\\F distance."""
+    from repro.graphs.traversal import bfs_distances_avoiding
+
+    graph, s, t, faults = random_instance(data, max_n=24)
+    scheme = ForbiddenSetLabeling(graph, epsilon=1.0)
+    result = scheme.query(s, t, vertex_faults=faults)
+    if math.isinf(result.distance):
+        return
+    total = 0
+    for a, b in zip(result.path, result.path[1:]):
+        dist = bfs_distances_avoiding(graph, a, forbidden_vertices=faults)
+        assert b in dist, "sketch edge not realizable in G \\ F"
+        total += dist[b]
+    assert total <= result.distance  # the legs sum to at most the estimate

@@ -1,0 +1,142 @@
+"""Tests for the forbidden-set routing scheme (Theorem 2.7)."""
+
+import math
+import random
+
+import pytest
+
+from repro.baselines import ExactRecomputeOracle
+from repro.exceptions import RoutingError
+from repro.graphs.generators import (
+    cycle_graph,
+    grid_graph,
+    path_graph,
+    random_tree,
+    road_like_graph,
+)
+from repro.routing import ForbiddenSetRouting
+from repro.routing.simulator import approach_points
+from repro.workloads import adversarial_queries, clustered_fault_queries, random_queries
+
+
+def check_routes(graph, router, queries):
+    """Route every query; verify delivery, fault avoidance, and stretch."""
+    exact = ExactRecomputeOracle(graph)
+    bound = router.stretch_bound()
+    for q in queries:
+        d_true = exact.query(
+            q.s, q.t, vertex_faults=q.vertex_faults, edge_faults=q.edge_faults
+        )
+        if math.isinf(d_true):
+            with pytest.raises(RoutingError):
+                router.route(
+                    q.s, q.t, vertex_faults=q.vertex_faults, edge_faults=q.edge_faults
+                )
+            continue
+        result = router.route(
+            q.s, q.t, vertex_faults=q.vertex_faults, edge_faults=q.edge_faults
+        )
+        assert result.route[0] == q.s and result.route[-1] == q.t
+        # the packet must physically traverse edges of G
+        for a, b in zip(result.route, result.route[1:]):
+            assert graph.has_edge(a, b)
+        # and never touch the forbidden set
+        assert not set(result.route) & set(q.vertex_faults)
+        gone = {(min(a, b), max(a, b)) for a, b in q.edge_faults}
+        for a, b in zip(result.route, result.route[1:]):
+            assert (min(a, b), max(a, b)) not in gone
+        assert d_true <= result.hops <= bound * d_true + 1e-9, (
+            q,
+            d_true,
+            result.hops,
+        )
+
+
+class TestRouteBasics:
+    def test_single_hop(self):
+        router = ForbiddenSetRouting(path_graph(4), epsilon=1.0)
+        result = router.route(1, 2)
+        assert result.route == (1, 2)
+
+    def test_failure_free_route_is_shortest(self):
+        g = grid_graph(6, 6)
+        router = ForbiddenSetRouting(g, epsilon=1.0)
+        result = router.route(0, 35)
+        assert result.hops == 10  # Manhattan distance
+
+    def test_disconnected_raises(self):
+        router = ForbiddenSetRouting(path_graph(8), epsilon=1.0)
+        with pytest.raises(RoutingError):
+            router.route(0, 7, vertex_faults=[4])
+
+    def test_route_around_single_fault_on_cycle(self):
+        router = ForbiddenSetRouting(cycle_graph(24), epsilon=1.0)
+        result = router.route(0, 4, vertex_faults=[2])
+        assert result.hops == 20  # exactly the long way
+
+    def test_routing_table_ports_valid(self):
+        g = grid_graph(5, 5)
+        router = ForbiddenSetRouting(g, epsilon=1.0)
+        table = router.table(12)
+        for target, port in table.ports.items():
+            neighbor = g.neighbor_by_port(12, port)
+            # stepping through the port gets strictly closer to the target
+            from repro.graphs import bfs_distances
+
+            assert bfs_distances(g, target)[neighbor] == bfs_distances(g, target)[12] - 1
+
+    def test_tables_cached(self):
+        router = ForbiddenSetRouting(path_graph(8), epsilon=1.0)
+        assert router.table(3) is router.table(3)
+
+    def test_approach_points_end_at_target(self):
+        router = ForbiddenSetRouting(grid_graph(6, 6), epsilon=1.0)
+        label_t = router.labeling.label(20)
+        points = approach_points(label_t)
+        # the lowest-level approach point is t itself (N_0 contains t)
+        assert points[0][1] == 20 and points[0][2] == 0
+
+
+class TestRouteWorkloads:
+    def test_random_faults_grid(self):
+        g = grid_graph(8, 8)
+        router = ForbiddenSetRouting(g, epsilon=1.0)
+        queries = random_queries(g, 30, max_vertex_faults=4, max_edge_faults=2, seed=1)
+        check_routes(g, router, queries)
+
+    def test_adversarial_faults_grid(self):
+        g = grid_graph(8, 8)
+        router = ForbiddenSetRouting(g, epsilon=1.0)
+        queries = adversarial_queries(g, 20, faults_per_query=2, seed=2)
+        check_routes(g, router, queries)
+
+    def test_clustered_faults_road(self):
+        g = road_like_graph(7, 7, removal_fraction=0.1, seed=3)
+        router = ForbiddenSetRouting(g, epsilon=1.0)
+        queries = clustered_fault_queries(g, 15, cluster_radius=1, seed=3)
+        check_routes(g, router, queries)
+
+    def test_tree_routes(self):
+        g = random_tree(60, seed=4)
+        router = ForbiddenSetRouting(g, epsilon=1.0)
+        queries = random_queries(g, 25, max_vertex_faults=3, seed=4)
+        check_routes(g, router, queries)
+
+    def test_tight_epsilon(self):
+        g = cycle_graph(64)
+        router = ForbiddenSetRouting(g, epsilon=0.5)
+        queries = random_queries(g, 20, max_vertex_faults=2, max_edge_faults=1, seed=5)
+        check_routes(g, router, queries)
+
+    def test_long_final_leg_descent(self):
+        """A long path with the fault near the source exercises the
+        descend-toward-t machinery (t far from every waypoint)."""
+        g = path_graph(256)
+        router = ForbiddenSetRouting(g, epsilon=1.0)
+        rng = random.Random(6)
+        exact = ExactRecomputeOracle(g)
+        for _ in range(10):
+            s = rng.randrange(0, 20)
+            t = rng.randrange(200, 256)
+            result = router.route(s, t)
+            assert result.hops == exact.query(s, t)

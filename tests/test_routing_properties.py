@@ -1,0 +1,75 @@
+"""Property-based tests for routing: delivery, fault avoidance, stretch."""
+
+import math
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import ExactRecomputeOracle
+from repro.exceptions import RoutingError
+from repro.graphs.generators import random_tree
+from repro.routing import ForbiddenSetRouting
+
+
+def random_connected_graph(n, extra_edges, seed):
+    g = random_tree(n, seed)
+    rng = random.Random(seed ^ 0xCAFE)
+    for _ in range(extra_edges):
+        a, b = rng.sample(range(n), 2)
+        if not g.has_edge(a, b):
+            g.add_edge(a, b)
+    return g
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.data())
+def test_routing_invariants(data):
+    n = data.draw(st.integers(5, 26), label="n")
+    seed = data.draw(st.integers(0, 10**6), label="seed")
+    extra = data.draw(st.integers(0, n // 2), label="extra")
+    graph = random_connected_graph(n, extra, seed)
+    rng = random.Random(seed)
+    s, t = rng.sample(range(n), 2)
+    candidates = [v for v in range(n) if v not in (s, t)]
+    faults = rng.sample(candidates, min(3, len(candidates)))
+
+    router = ForbiddenSetRouting(graph, epsilon=1.0)
+    exact = ExactRecomputeOracle(graph)
+    d_true = exact.query(s, t, vertex_faults=faults)
+
+    if math.isinf(d_true):
+        try:
+            router.route(s, t, vertex_faults=faults)
+            raise AssertionError("routed a disconnected pair")
+        except RoutingError:
+            return
+    result = router.route(s, t, vertex_faults=faults)
+    # delivery, medium validity, fault avoidance, stretch
+    assert result.route[0] == s and result.route[-1] == t
+    for a, b in zip(result.route, result.route[1:]):
+        assert graph.has_edge(a, b)
+    assert not set(result.route) & set(faults)
+    assert d_true <= result.hops <= router.stretch_bound() * d_true + 1e-9
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.data())
+def test_routing_edge_fault_invariants(data):
+    n = data.draw(st.integers(5, 22), label="n")
+    seed = data.draw(st.integers(0, 10**6), label="seed")
+    graph = random_connected_graph(n, n // 2, seed)
+    rng = random.Random(seed)
+    s, t = rng.sample(range(n), 2)
+    edges = list(graph.edges())
+    gone = rng.sample(edges, min(2, len(edges)))
+
+    router = ForbiddenSetRouting(graph, epsilon=1.0)
+    exact = ExactRecomputeOracle(graph)
+    d_true = exact.query(s, t, edge_faults=gone)
+    if math.isinf(d_true):
+        return
+    result = router.route(s, t, edge_faults=gone)
+    used = {(min(a, b), max(a, b)) for a, b in zip(result.route, result.route[1:])}
+    assert not used & set(gone)
+    assert d_true <= result.hops <= router.stretch_bound() * d_true + 1e-9

@@ -1,0 +1,109 @@
+"""Tests for fault-scoped query sessions."""
+
+import math
+import time
+
+import pytest
+
+from repro.exceptions import QueryError
+from repro.graphs.generators import cycle_graph, grid_graph, road_like_graph
+from repro.labeling import FaultSet, ForbiddenSetLabeling, decode_distance
+from repro.labeling.session import FaultScopedSession
+from repro.workloads import random_queries
+
+
+class TestEquivalence:
+    """Session answers must equal the one-shot decoder, query by query."""
+
+    @pytest.mark.parametrize("faults", [[], [24], [24, 10, 38]])
+    def test_matches_decoder_on_grid(self, faults):
+        g = grid_graph(7, 7)
+        scheme = ForbiddenSetLabeling(g, epsilon=1.0)
+        fault_set = scheme.fault_set(vertex_faults=faults)
+        session = FaultScopedSession(fault_set)
+        for s, t in [(0, 48), (3, 45), (21, 27), (6, 42)]:
+            one_shot = decode_distance(scheme.label(s), scheme.label(t), fault_set)
+            via_session = session.query(scheme.label(s), scheme.label(t))
+            assert via_session.distance == one_shot.distance
+
+    def test_matches_decoder_with_edge_faults(self):
+        g = road_like_graph(7, 7, seed=2)
+        scheme = ForbiddenSetLabeling(g, epsilon=1.0)
+        edges = list(g.edges())[:3]
+        fault_set = scheme.fault_set(edge_faults=edges)
+        session = FaultScopedSession(fault_set)
+        for q in random_queries(g, 15, max_vertex_faults=0, seed=3):
+            one_shot = decode_distance(
+                scheme.label(q.s), scheme.label(q.t), fault_set
+            )
+            via_session = session.query(scheme.label(q.s), scheme.label(q.t))
+            assert via_session.distance == one_shot.distance
+
+    def test_disconnection_detected(self):
+        g = cycle_graph(16)
+        scheme = ForbiddenSetLabeling(g, epsilon=1.0)
+        session = FaultScopedSession(scheme.fault_set(vertex_faults=[4, 12]))
+        result = session.query(scheme.label(0), scheme.label(8))
+        assert math.isinf(result.distance)
+
+    def test_identity_query(self):
+        g = cycle_graph(8)
+        scheme = ForbiddenSetLabeling(g, epsilon=1.0)
+        session = FaultScopedSession()
+        assert session.query(scheme.label(3), scheme.label(3)).distance == 0
+
+    def test_endpoint_fault_rejected(self):
+        g = cycle_graph(8)
+        scheme = ForbiddenSetLabeling(g, epsilon=1.0)
+        session = FaultScopedSession(scheme.fault_set(vertex_faults=[3]))
+        with pytest.raises(QueryError):
+            session.query(scheme.label(3), scheme.label(5))
+
+
+class TestStatelessness:
+    def test_queries_do_not_leak_into_each_other(self):
+        """Endpoint fragments from one query must not affect the next."""
+        g = grid_graph(6, 6)
+        scheme = ForbiddenSetLabeling(g, epsilon=1.0)
+        fault_set = scheme.fault_set(vertex_faults=[14])
+        session = FaultScopedSession(fault_set)
+        first = session.query(scheme.label(0), scheme.label(35)).distance
+        # an unrelated query in between
+        session.query(scheme.label(5), scheme.label(30))
+        second = session.query(scheme.label(0), scheme.label(35)).distance
+        assert first == second
+
+    def test_session_faults_property(self):
+        g = cycle_graph(8)
+        scheme = ForbiddenSetLabeling(g, epsilon=1.0)
+        fs = scheme.fault_set(vertex_faults=[2])
+        assert FaultScopedSession(fs).faults is fs
+
+
+class TestAmortization:
+    def test_session_not_slower_by_much_and_usually_faster(self):
+        g = grid_graph(9, 9)
+        scheme = ForbiddenSetLabeling(g, epsilon=1.0)
+        faults = [40, 41, 31, 49, 22, 58]
+        fault_set = scheme.fault_set(vertex_faults=faults)
+        pairs = [(s, t) for s in (0, 8, 72) for t in (80, 44, 36)]
+        labels = {v: scheme.label(v) for s, t in pairs for v in (s, t)}
+
+        start = time.perf_counter()
+        one_shot = [
+            decode_distance(labels[s], labels[t], fault_set).distance
+            for s, t in pairs
+        ]
+        t_decoder = time.perf_counter() - start
+
+        session = FaultScopedSession(fault_set)
+        start = time.perf_counter()
+        amortized = [
+            session.query(labels[s], labels[t]).distance for s, t in pairs
+        ]
+        t_session = time.perf_counter() - start
+
+        assert amortized == one_shot
+        # generous bound: the session must not be drastically slower;
+        # (in practice it is several times faster — see bench_session)
+        assert t_session < 3 * t_decoder + 0.05

@@ -1,0 +1,114 @@
+"""Tests for the label/scheme verifier — including corruption detection."""
+
+import copy
+
+import pytest
+
+from repro.exceptions import LabelingError
+from repro.graphs.generators import cycle_graph, grid_graph, path_graph
+from repro.labeling import ForbiddenSetLabeling, LabelingOptions
+from repro.labeling.verification import verify_label, verify_scheme
+
+
+@pytest.fixture(scope="module")
+def grid_setup():
+    g = grid_graph(6, 6)
+    scheme = ForbiddenSetLabeling(g, epsilon=1.0)
+    return g, scheme
+
+
+class TestVerifyScheme:
+    def test_full_scheme_passes(self, grid_setup):
+        g, scheme = grid_setup
+        verify_scheme(g, scheme)
+
+    def test_unit_scheme_passes_without_completeness(self):
+        g = cycle_graph(24)
+        scheme = ForbiddenSetLabeling(
+            g, epsilon=1.0, options=LabelingOptions(low_level="unit")
+        )
+        verify_scheme(g, scheme)
+
+    def test_path_scheme_passes(self):
+        g = path_graph(40)
+        scheme = ForbiddenSetLabeling(g, epsilon=2.0)
+        verify_scheme(g, scheme, sample_vertices=[0, 20, 39])
+
+
+class TestCorruptionDetection:
+    """Every mutation of a valid label must be caught."""
+
+    def _fresh(self, grid_setup):
+        g, scheme = grid_setup
+        label = copy.deepcopy(scheme.label(14))
+        return g, scheme, label
+
+    def _expect_failure(self, g, scheme, label):
+        with pytest.raises(LabelingError):
+            verify_label(
+                g, label, scheme._builder.hierarchy, scheme.params
+            )
+
+    def test_wrong_distance(self, grid_setup):
+        g, scheme, label = self._fresh(grid_setup)
+        level = min(label.levels)
+        point = next(p for p in label.levels[level].points if p != 14)
+        label.levels[level].points[point] += 1
+        self._expect_failure(g, scheme, label)
+
+    def test_missing_owner(self, grid_setup):
+        g, scheme, label = self._fresh(grid_setup)
+        level = min(label.levels)
+        del label.levels[level].points[14]
+        self._expect_failure(g, scheme, label)
+
+    def test_missing_point(self, grid_setup):
+        g, scheme, label = self._fresh(grid_setup)
+        level = min(label.levels)
+        point = next(p for p in label.levels[level].points if p != 14)
+        del label.levels[level].points[point]
+        # also remove its edges so the point check (not the edge check) fires
+        label.levels[level].edges = {
+            e: w
+            for e, w in label.levels[level].edges.items()
+            if point not in e
+        }
+        self._expect_failure(g, scheme, label)
+
+    def test_wrong_edge_weight(self, grid_setup):
+        g, scheme, label = self._fresh(grid_setup)
+        level = min(label.levels)
+        edge = next(iter(label.levels[level].edges))
+        label.levels[level].edges[edge] += 1
+        self._expect_failure(g, scheme, label)
+
+    def test_missing_edge(self, grid_setup):
+        g, scheme, label = self._fresh(grid_setup)
+        level = min(label.levels)
+        edge = next(iter(label.levels[level].edges))
+        del label.levels[level].edges[edge]
+        self._expect_failure(g, scheme, label)
+
+    def test_extra_bogus_point(self, grid_setup):
+        g, scheme, label = self._fresh(grid_setup)
+        top = max(label.levels)
+        # a vertex that is not a net point at the top level
+        net = scheme._builder.hierarchy.net(scheme.params.net_level(top))
+        outsider = next(v for v in g.vertices() if v not in net and v != 14)
+        from repro.graphs import bfs_distances
+
+        label.levels[top].points[outsider] = bfs_distances(g, 14)[outsider]
+        self._expect_failure(g, scheme, label)
+
+    def test_missing_level(self, grid_setup):
+        g, scheme, label = self._fresh(grid_setup)
+        del label.levels[max(label.levels)]
+        self._expect_failure(g, scheme, label)
+
+    def test_unnormalized_edge(self, grid_setup):
+        g, scheme, label = self._fresh(grid_setup)
+        level = min(label.levels)
+        (x, y), w = next(iter(label.levels[level].edges.items()))
+        del label.levels[level].edges[(x, y)]
+        label.levels[level].edges[(y, x)] = w
+        self._expect_failure(g, scheme, label)

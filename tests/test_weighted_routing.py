@@ -1,0 +1,126 @@
+"""Tests for routing on weighted graphs."""
+
+import math
+import random
+
+import pytest
+
+from repro.exceptions import GraphError, RoutingError
+from repro.graphs.generators import cycle_graph, grid_graph
+from repro.graphs.weighted import (
+    WeightedGraph,
+    weighted_distances,
+    weighted_distances_avoiding,
+    weighted_first_hops,
+)
+from repro.routing import WeightedForbiddenSetRouting
+
+
+def randomize_weights(graph, max_weight, seed):
+    rng = random.Random(seed)
+    wg = WeightedGraph(graph.num_vertices)
+    for u, v in graph.edges():
+        wg.add_edge(u, v, rng.randint(1, max_weight))
+    return wg
+
+
+class TestWeightedPorts:
+    def test_port_roundtrip(self):
+        g = WeightedGraph.from_edges(4, [(0, 1, 2), (0, 2, 3), (0, 3, 4)])
+        for v in (1, 2, 3):
+            assert g.neighbor_by_port(0, g.port_to(0, v)) == v
+
+    def test_missing_edge(self):
+        g = WeightedGraph.from_edges(3, [(0, 1, 1)])
+        with pytest.raises(GraphError):
+            g.port_to(0, 2)
+        with pytest.raises(GraphError):
+            g.neighbor_by_port(0, 5)
+
+    def test_edge_weight_lookup(self):
+        g = WeightedGraph.from_edges(3, [(0, 1, 7)])
+        assert g.edge_weight(0, 1) == 7 == g.edge_weight(1, 0)
+        with pytest.raises(GraphError):
+            g.edge_weight(0, 2)
+
+
+class TestWeightedFirstHops:
+    def test_hops_make_weighted_progress(self):
+        g = randomize_weights(grid_graph(5, 5), 4, seed=1)
+        dist, hop = weighted_first_hops(g, 12)
+        for target, first in hop.items():
+            assert first in [v for v, _ in g.neighbors(12)]
+            # stepping through the hop realizes the shortest distance
+            assert (
+                g.edge_weight(12, first)
+                + weighted_distances(g, first)[target]
+                == dist[target]
+            )
+
+    def test_matches_bfs_on_unit_weights(self):
+        from repro.graphs import bfs_first_hops
+        from repro.graphs.generators import path_graph
+
+        base = path_graph(10)
+        g = WeightedGraph.from_unweighted(base)
+        dist_w, _ = weighted_first_hops(g, 0)
+        dist_b, _ = bfs_first_hops(base, 0)
+        assert dist_w == dist_b
+
+
+class TestWeightedRouting:
+    def test_light_path_preferred(self):
+        g = WeightedGraph.from_edges(
+            4, [(0, 1, 2), (1, 2, 2), (2, 3, 2), (0, 3, 10)]
+        )
+        router = WeightedForbiddenSetRouting(g, epsilon=1.0)
+        result = router.route(0, 3)
+        assert result.cost == 6 and result.route == (0, 1, 2, 3)
+
+    def test_fault_forces_heavy_edge(self):
+        g = WeightedGraph.from_edges(
+            4, [(0, 1, 2), (1, 2, 2), (2, 3, 2), (0, 3, 10)]
+        )
+        router = WeightedForbiddenSetRouting(g, epsilon=1.0)
+        result = router.route(0, 3, vertex_faults=[1])
+        assert result.cost == 10 and result.route == (0, 3)
+
+    def test_disconnected_raises(self):
+        g = WeightedGraph.from_unweighted(cycle_graph(8))
+        router = WeightedForbiddenSetRouting(g, epsilon=1.0)
+        with pytest.raises(RoutingError):
+            router.route(0, 4, vertex_faults=[2, 6])
+
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_randomized_stretch_and_avoidance(self, seed):
+        g = randomize_weights(grid_graph(6, 6), 4, seed)
+        router = WeightedForbiddenSetRouting(g, epsilon=1.0)
+        bound = router.stretch_bound()
+        rng = random.Random(seed)
+        for _ in range(15):
+            s, t = rng.sample(range(36), 2)
+            vf = [v for v in rng.sample(range(36), 3) if v not in (s, t)]
+            d_true = weighted_distances_avoiding(g, s, vf).get(t, math.inf)
+            if math.isinf(d_true):
+                with pytest.raises(RoutingError):
+                    router.route(s, t, vertex_faults=vf)
+                continue
+            result = router.route(s, t, vertex_faults=vf)
+            assert result.route[0] == s and result.route[-1] == t
+            assert not set(result.route) & set(vf)
+            for a, b in zip(result.route, result.route[1:]):
+                assert g.has_edge(a, b)
+            assert d_true <= result.cost <= bound * d_true + 1e-9
+
+    def test_edge_fault_avoided(self):
+        g = WeightedGraph.from_unweighted(cycle_graph(12), weight=3)
+        router = WeightedForbiddenSetRouting(g, epsilon=1.0)
+        result = router.route(0, 6, edge_faults=[(2, 3)])
+        used = {(min(a, b), max(a, b)) for a, b in zip(result.route, result.route[1:])}
+        assert (2, 3) not in used
+        assert result.cost == 18  # the long way: 6 edges x 3
+
+    def test_tables_cached(self):
+        g = WeightedGraph.from_unweighted(cycle_graph(8))
+        router = WeightedForbiddenSetRouting(g, epsilon=1.0)
+        assert router.table(2) is router.table(2)
