@@ -27,6 +27,10 @@ Public API highlights
   (Lemma 2.2).
 * :mod:`repro.baselines` — exact recompute, APSP, single-fault and
   exact-tree comparators.
+* :mod:`repro.chaos` — chaos injection: seeded fault plans (churn,
+  lossy flooding, partition windows), an invariant-checking runner for
+  the network-recovery simulator, and corruption fuzzing for the
+  on-disk label databases.
 
 Quickstart
 ----------

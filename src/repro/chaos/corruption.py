@@ -1,0 +1,203 @@
+"""Seeded corruption of encoded labels and label databases.
+
+The injector produces the classic storage failure modes — random bit
+flips, overwritten bytes, truncation, appended garbage and *lying
+length fields* (a framing field rewritten to point past EOF or into the
+middle of another record) — deterministically from a seed, so every
+failure it finds is replayable.
+
+:func:`fuzz_database` is the verdict machine the acceptance criteria
+lean on: for a saved database and a set of probe queries, every seeded
+mutation must produce either an :class:`~repro.exceptions.EncodingError`
+(including its :class:`~repro.exceptions.LabelCorruptionError` subclass)
+or the **exact** answer the pristine database gives — a *silently wrong
+distance* is the one unacceptable outcome.
+"""
+
+from __future__ import annotations
+
+import io
+import struct
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.exceptions import EncodingError, QueryError
+from repro.oracle.persistence import LabelDatabase
+from repro.util.rng import RngLike, make_rng
+
+MUTATION_KINDS = ("bit_flip", "byte_xor", "truncate", "extend", "length_lie")
+
+_U32 = struct.Struct("<I")
+
+
+@dataclass(frozen=True)
+class Mutation:
+    """Description of one applied corruption (replayable evidence)."""
+
+    kind: str
+    offset: int
+    detail: str
+
+
+def _length_field_offsets(blob: bytes) -> list[int]:
+    """Byte offsets of every per-label length field in a pristine blob.
+
+    Walks the FSDL framing (v1 or v2) without validating checksums; the
+    blob is expected to be well-formed — this is used to *place* a
+    lying length, not to parse hostile input.
+    """
+    if len(blob) < 5 or blob[:4] != b"FSDL":
+        raise EncodingError("not a label database blob")
+    version = blob[4]
+    pos = 5 + 20  # magic + version + header
+    if version >= 2:
+        pos += 4  # header checksum
+    offsets = []
+    while pos + 4 <= len(blob):
+        offsets.append(pos)
+        (length,) = _U32.unpack(blob[pos:pos + 4])
+        pos += 4
+        if version >= 2:
+            pos += 4  # per-label checksum
+        pos += length
+    return offsets
+
+
+def mutate(
+    blob: bytes, rng: RngLike = None, kind: str | None = None
+) -> tuple[bytes, Mutation]:
+    """Apply one seeded corruption; returns the damaged blob + evidence.
+
+    ``kind`` selects a mutation from :data:`MUTATION_KINDS`; ``None``
+    picks one at random.  Every mutation is guaranteed to change the
+    blob.
+    """
+    rng = make_rng(rng)
+    if kind is None:
+        kind = rng.choice(MUTATION_KINDS)
+    if kind not in MUTATION_KINDS:
+        raise QueryError(f"unknown mutation kind {kind!r}")
+    if not blob:
+        raise EncodingError("cannot corrupt an empty blob")
+
+    if kind == "bit_flip":
+        bit = rng.randrange(8 * len(blob))
+        out = bytearray(blob)
+        out[bit // 8] ^= 1 << (bit % 8)
+        return bytes(out), Mutation(kind, bit // 8, f"flipped bit {bit % 8}")
+    if kind == "byte_xor":
+        offset = rng.randrange(len(blob))
+        mask = rng.randint(1, 255)
+        out = bytearray(blob)
+        out[offset] ^= mask
+        return bytes(out), Mutation(kind, offset, f"xor with {mask:#04x}")
+    if kind == "truncate":
+        cut = rng.randrange(len(blob))
+        return blob[:cut], Mutation(kind, cut, f"cut to {cut} bytes")
+    if kind == "extend":
+        extra = bytes(rng.randrange(256) for _ in range(rng.randint(1, 16)))
+        return blob + extra, Mutation(
+            kind, len(blob), f"appended {len(extra)} bytes"
+        )
+    # length_lie: rewrite one framing length to a plausible-looking lie
+    offsets = _length_field_offsets(blob)
+    if not offsets:
+        raise EncodingError("blob has no length fields to corrupt")
+    offset = rng.choice(offsets)
+    (old,) = _U32.unpack(blob[offset:offset + 4])
+    lies = [0, max(0, old - 1), old + 1, old + len(blob), 0xFFFFFFF0]
+    lie = rng.choice([v for v in lies if v != old])
+    out = bytearray(blob)
+    out[offset:offset + 4] = _U32.pack(lie)
+    return bytes(out), Mutation(kind, offset, f"length {old} -> {lie}")
+
+
+@dataclass
+class FuzzReport:
+    """Outcome of a corruption-fuzz campaign over one database blob."""
+
+    trials: int = 0
+    rejected_at_load: int = 0
+    quarantined_loads: int = 0
+    rejected_at_query: int = 0
+    exact_answers: int = 0
+    silent_wrong: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True when no mutation ever produced a silently wrong answer."""
+        return not self.silent_wrong
+
+    def summary(self) -> str:
+        """One-line human-readable digest."""
+        status = "OK" if self.ok else f"{len(self.silent_wrong)} SILENT-WRONG"
+        return (
+            f"fuzz: {status} — {self.trials} mutations, "
+            f"{self.rejected_at_load} rejected at load, "
+            f"{self.quarantined_loads} degraded loads, "
+            f"{self.rejected_at_query} rejected at query, "
+            f"{self.exact_answers} exact answers under corruption"
+        )
+
+
+def _probe_answers(db: LabelDatabase, probes) -> list[float]:
+    return [
+        db.query(s, t, vertex_faults=faults).distance
+        for s, t, faults in probes
+    ]
+
+
+def fuzz_database(
+    blob: bytes,
+    probes: Sequence[tuple[int, int, tuple[int, ...]]],
+    trials: int = 1000,
+    seed: RngLike = None,
+) -> FuzzReport:
+    """Fuzz a saved database with seeded corruptions; verdict per trial.
+
+    ``probes`` is a list of ``(s, t, vertex_faults)`` queries; expected
+    answers come from the pristine blob.  Each trial mutates the blob
+    once and demands **error or exact answer** on both the strict and
+    the quarantine (``strict=False``) load paths.
+    """
+    rng = make_rng(seed)
+    pristine = LabelDatabase.load(io.BytesIO(blob))
+    expected = _probe_answers(pristine, probes)
+    report = FuzzReport()
+    for _ in range(trials):
+        report.trials += 1
+        damaged, mutation = mutate(blob, rng)
+        try:
+            strict_db = LabelDatabase.load(io.BytesIO(damaged), strict=True)
+        except EncodingError:
+            report.rejected_at_load += 1
+            strict_db = None
+        if strict_db is not None:
+            _judge(report, strict_db, probes, expected, mutation, "strict")
+        # graceful-degradation path: framing damage stays fatal, but
+        # checksum damage must load and fail only when touched.
+        try:
+            lax_db = LabelDatabase.load(io.BytesIO(damaged), strict=False)
+        except EncodingError:
+            continue
+        if strict_db is None:
+            report.quarantined_loads += 1
+        _judge(report, lax_db, probes, expected, mutation, "quarantine")
+    return report
+
+
+def _judge(report, db, probes, expected, mutation, mode) -> None:
+    for (s, t, faults), want in zip(probes, expected):
+        try:
+            got = db.query(s, t, vertex_faults=faults).distance
+        except EncodingError:
+            report.rejected_at_query += 1
+            continue
+        if got == want:
+            report.exact_answers += 1
+        else:
+            report.silent_wrong.append(
+                f"[{mode}] {mutation.kind}@{mutation.offset} "
+                f"({mutation.detail}): query({s}, {t}, F={faults}) "
+                f"returned {got}, expected {want}"
+            )

@@ -1,0 +1,344 @@
+"""Chaos runner: drive a simulator through a fault plan, check invariants.
+
+The runner replays a :class:`~repro.chaos.plan.FaultPlan` against a
+:class:`~repro.routing.network_sim.NetworkSimulator` and, after every
+event, checks the properties the paper's application scenario promises
+even under hostile timing:
+
+* **no misinformation** — every router's view stays a subset of the
+  true failed set (recoveries clear views, probing/flooding only ever
+  report real failures);
+* **truth bookkeeping** — the simulator's ground truth matches the
+  shadow truth the runner derives from the event stream alone;
+* **real routes** — a delivered packet's route is an actual path of
+  surviving edges between its endpoints, crossing no truly failed
+  router or link;
+* **delivery = connectivity** — a packet is delivered *iff* its
+  endpoints are connected in the true surviving graph (views under-
+  approximate the truth, so a local "unreachable" verdict is exact);
+* **stretch under full awareness** — once ``awareness() == 1.0``, hops
+  obey the scheme's ``(1+eps)`` stretch bound against the true
+  surviving distance;
+* **bounded re-queries** — a packet re-plans at most
+  ``O(|F|)`` times (each replan is charged to a discovery or to a
+  fact that invalidated the current plan).
+
+Any violation is recorded (not raised) so one run reports *all*
+failures; :attr:`ChaosReport.ok` summarizes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.chaos.plan import ChaosEvent, FaultPlan
+from repro.exceptions import QueryError, RoutingError
+from repro.graphs.graph import Graph
+from repro.graphs.traversal import bfs_distances_avoiding
+from repro.routing.network_sim import NetworkSimulator
+from repro.util.rng import make_rng
+
+# A packet replans once to start, once per (bounded) discovery, and a
+# small number of extra times when piggybacked knowledge staled its
+# plan; beyond that multiple of the live fault count something is
+# looping.
+_REQUERY_SLACK = 4
+
+
+@dataclass
+class ChaosReport:
+    """Aggregated outcome of one chaos run."""
+
+    name: str
+    events_applied: int = 0
+    packets_sent: int = 0
+    packets_delivered: int = 0
+    packets_undeliverable: int = 0
+    checks_performed: int = 0
+    total_requeries: int = 0
+    max_requeries: int = 0
+    total_discoveries: int = 0
+    stretch_samples: int = 0
+    worst_stretch: float = 1.0
+    violations: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True when every invariant held for the whole run."""
+        return not self.violations
+
+    def summary(self) -> str:
+        """One-line human-readable digest."""
+        status = "OK" if self.ok else f"{len(self.violations)} VIOLATIONS"
+        return (
+            f"{self.name}: {status} — {self.events_applied} events, "
+            f"{self.packets_sent} packets "
+            f"({self.packets_delivered} delivered, "
+            f"{self.packets_undeliverable} unreachable), "
+            f"{self.checks_performed} checks, "
+            f"max requeries {self.max_requeries}, "
+            f"worst aware stretch {self.worst_stretch:.3f}"
+        )
+
+
+class ChaosRunner:
+    """Replays one fault plan against one simulator, checking invariants."""
+
+    def __init__(
+        self,
+        graph: Graph,
+        plan: FaultPlan,
+        epsilon: float = 1.0,
+        probe_on_failure: bool = True,
+    ) -> None:
+        self._graph = graph
+        self._plan = plan
+        self._sim = NetworkSimulator(
+            graph, epsilon=epsilon, probe_on_failure=probe_on_failure
+        )
+        self._stretch_bound = self._sim._labeling.stretch_bound()
+        self._rng = make_rng(plan.seed)
+        self._shadow_v: set[int] = set()
+        self._shadow_e: set[tuple[int, int]] = set()
+        self._report = ChaosReport(name=plan.name)
+
+    @property
+    def simulator(self) -> NetworkSimulator:
+        """The driven simulator (inspectable mid-run or after)."""
+        return self._sim
+
+    def run(self) -> ChaosReport:
+        """Apply every event, checking invariants after each."""
+        for index, event in enumerate(self._plan):
+            self._apply(index, event)
+            self._check_consistency(index, event)
+            self._report.events_applied += 1
+        return self._report
+
+    # -- event application -------------------------------------------------
+
+    def _apply(self, index: int, event: ChaosEvent) -> None:
+        if event.kind == "send":
+            self._checked_send(index, event)
+            return
+        self._sim.apply_event(
+            event,
+            drop_probability=self._plan.drop_probability,
+            rng=self._rng,
+        )
+        self._shadow_apply(event)
+
+    def _shadow_apply(self, event: ChaosEvent) -> None:
+        if event.kind == "fail_vertex":
+            self._shadow_v.add(event.vertex)
+        elif event.kind == "recover_vertex":
+            self._shadow_v.discard(event.vertex)
+        elif event.kind == "fail_edge":
+            a, b = event.edge
+            self._shadow_e.add((min(a, b), max(a, b)))
+        elif event.kind == "recover_edge":
+            a, b = event.edge
+            self._shadow_e.discard((min(a, b), max(a, b)))
+        elif event.kind == "partition":
+            self._shadow_e.update(event.edges)
+        elif event.kind == "heal_partition":
+            self._shadow_e.difference_update(event.edges)
+
+    # -- invariant checks --------------------------------------------------
+
+    def _violation(self, index: int, message: str) -> None:
+        self._report.violations.append(f"event {index}: {message}")
+
+    def _true_distance(self, s: int, t: int) -> float:
+        dist = bfs_distances_avoiding(
+            self._graph, s, self._shadow_v, self._shadow_e
+        )
+        return dist.get(t, math.inf)
+
+    def _checked_send(self, index: int, event: ChaosEvent) -> None:
+        report = self._report
+        s, t = event.s, event.t
+        if s in self._shadow_v or t in self._shadow_v:
+            # hostile plan: sending from/to a failed router must be
+            # rejected loudly, never routed.
+            try:
+                self._sim.send_packet(s, t)
+            except QueryError:
+                report.checks_performed += 1
+            else:
+                self._violation(
+                    index, f"send({s}, {t}) accepted a failed endpoint"
+                )
+            return
+        d_true = self._true_distance(s, t)
+        fully_aware = self._sim.awareness() == 1.0
+        fault_count = len(self._shadow_v) + len(self._shadow_e)
+        try:
+            delivery = self._sim.send_packet(s, t)
+        except RoutingError as exc:
+            self._violation(index, f"send({s}, {t}) exhausted TTL: {exc}")
+            return
+        report.packets_sent += 1
+        report.total_requeries += delivery.requeries
+        report.max_requeries = max(report.max_requeries, delivery.requeries)
+        report.total_discoveries += delivery.discoveries
+
+        if delivery.delivered != (not math.isinf(d_true)):
+            self._violation(
+                index,
+                f"send({s}, {t}): delivered={delivery.delivered} but true "
+                f"distance is {d_true} — crossed or invented a cut",
+            )
+            return
+        report.checks_performed += 1
+        if delivery.delivered:
+            self._check_route(index, s, t, delivery, d_true, fully_aware)
+        else:
+            report.packets_undeliverable += 1
+        bound = 2 * (fault_count + 1) + _REQUERY_SLACK
+        if delivery.requeries > bound:
+            self._violation(
+                index,
+                f"send({s}, {t}): {delivery.requeries} re-queries exceeds "
+                f"bound {bound} for {fault_count} faults",
+            )
+        report.checks_performed += 1
+
+    def _check_route(
+        self, index, s, t, delivery, d_true: float, fully_aware: bool
+    ) -> None:
+        report = self._report
+        report.packets_delivered += 1
+        route = delivery.route
+        if not route or route[0] != s or route[-1] != t:
+            self._violation(
+                index, f"send({s}, {t}): route endpoints are {route[:1]}"
+                f"...{route[-1:]}"
+            )
+            return
+        for u, v in zip(route, route[1:]):
+            if not self._graph.has_edge(u, v):
+                self._violation(
+                    index, f"send({s}, {t}): hop ({u}, {v}) is not an edge"
+                )
+                return
+            if (min(u, v), max(u, v)) in self._shadow_e:
+                self._violation(
+                    index, f"send({s}, {t}): hop ({u}, {v}) crosses a "
+                    "failed link"
+                )
+                return
+        crossed = set(route) & self._shadow_v
+        if crossed:
+            self._violation(
+                index,
+                f"send({s}, {t}): route visits failed routers {sorted(crossed)}",
+            )
+            return
+        report.checks_performed += 1
+        hops = delivery.hops
+        if hops != len(route) - 1:
+            self._violation(
+                index, f"send({s}, {t}): hops={hops} but route has "
+                f"{len(route) - 1} edges"
+            )
+        if hops < d_true:
+            self._violation(
+                index,
+                f"send({s}, {t}): {hops} hops beats the true distance "
+                f"{d_true} — route cannot be real",
+            )
+        if fully_aware:
+            report.stretch_samples += 1
+            if d_true > 0:
+                stretch = hops / d_true
+                report.worst_stretch = max(report.worst_stretch, stretch)
+                if stretch > self._stretch_bound + 1e-9:
+                    self._violation(
+                        index,
+                        f"send({s}, {t}): stretch {stretch:.3f} exceeds "
+                        f"{self._stretch_bound:.3f} at full awareness "
+                        f"(hops={hops}, true={d_true})",
+                    )
+        report.checks_performed += 1
+
+    def _check_consistency(self, index: int, event: ChaosEvent) -> None:
+        report = self._report
+        truth = self._sim.ground_truth()
+        if truth.vertices != self._shadow_v or truth.edges != self._shadow_e:
+            self._violation(
+                index,
+                f"after {event.kind}: simulator truth "
+                f"({sorted(truth.vertices)}, {sorted(truth.edges)}) diverged "
+                f"from the event stream ({sorted(self._shadow_v)}, "
+                f"{sorted(self._shadow_e)})",
+            )
+        for router in self._graph.vertices():
+            view = self._sim.view(router)
+            ghost_v = view.vertices - self._shadow_v
+            ghost_e = view.edges - self._shadow_e
+            if ghost_v or ghost_e:
+                self._violation(
+                    index,
+                    f"after {event.kind}: router {router} believes in "
+                    f"nonexistent failures {sorted(ghost_v)} / "
+                    f"{sorted(ghost_e)}",
+                )
+                break
+        report.checks_performed += 1
+
+
+def run_plan(
+    graph: Graph,
+    plan: FaultPlan,
+    epsilon: float = 1.0,
+    probe_on_failure: bool = True,
+) -> ChaosReport:
+    """Convenience wrapper: build a runner, run the plan, return the report."""
+    return ChaosRunner(
+        graph, plan, epsilon=epsilon, probe_on_failure=probe_on_failure
+    ).run()
+
+
+def standard_suite(
+    num_schedules: int = 20,
+    num_events: int = 100,
+    seed: int = 0,
+    epsilon: float = 1.0,
+) -> list[ChaosReport]:
+    """The acceptance battery: seeded churn schedules over a graph pool.
+
+    Rotates graph families up to ``n = 64``, message-loss levels
+    (lossless, 15 %, 35 %) and probe/silent failure modes, so one call
+    covers the scenario matrix.  Deterministic in ``seed``.
+    """
+    from repro.chaos.plan import random_churn_plan
+    from repro.graphs import generators as gen
+
+    pool = [
+        lambda: gen.grid_graph(8, 8),
+        lambda: gen.cycle_graph(48),
+        lambda: gen.road_like_graph(7, 7, seed=3),
+        lambda: gen.torus_graph(6, 6),
+        lambda: gen.random_tree(40, seed=5),
+        lambda: gen.hypercube_graph(6),
+    ]
+    losses = [0.0, 0.15, 0.35]
+    reports = []
+    for i in range(num_schedules):
+        graph = pool[i % len(pool)]()
+        plan = random_churn_plan(
+            graph,
+            num_events=num_events,
+            seed=seed + 1000 * i + 1,
+            drop_probability=losses[i % len(losses)],
+            name=f"schedule {i} on {graph!r} "
+            f"(loss={losses[i % len(losses)]}, probe={i % 2 == 0})",
+        )
+        reports.append(
+            run_plan(
+                graph, plan, epsilon=epsilon, probe_on_failure=i % 2 == 0
+            )
+        )
+    return reports

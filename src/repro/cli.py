@@ -5,7 +5,9 @@ Subcommands::
     python -m repro build  GRAPH_SPEC -e 1.0 -o labels.fsdl [--low-level unit]
     python -m repro query  labels.fsdl -s 0 -t 63 [--fail-vertex 5 ...]
     python -m repro info   labels.fsdl
+    python -m repro fsck   labels.fsdl
     python -m repro verify GRAPH_SPEC -e 1.0
+    python -m repro chaos  GRAPH_SPEC [--schedules 5] [--events 100] [--drop 0.2]
     python -m repro experiment E1 [E5 ...] [--full]
 
 ``GRAPH_SPEC`` selects a generator: ``path:64``, ``cycle:32``,
@@ -99,8 +101,9 @@ def cmd_build(args: argparse.Namespace) -> int:
         f"scheme: eps={args.epsilon} c={scheme.params.c} "
         f"levels={list(scheme.params.levels())}"
     )
-    size = save_labels(scheme, args.output)
-    print(f"wrote {args.output}: {graph.num_vertices} labels, {size} bytes")
+    size = save_labels(scheme, args.output, version=args.format_version)
+    print(f"wrote {args.output}: {graph.num_vertices} labels, {size} bytes "
+          f"(format v{args.format_version})")
     return 0
 
 
@@ -134,6 +137,7 @@ def cmd_info(args: argparse.Namespace) -> int:
 
     db = LabelDatabase.load(args.database)
     sizes = [len(db._table[v]) for v in range(db.num_vertices)]
+    print(f"format:    v{db.version}")
     print(f"labels:    {db.num_vertices}")
     print(f"epsilon:   {db.epsilon}")
     print(f"c:         {db.c}")
@@ -142,6 +146,61 @@ def cmd_info(args: argparse.Namespace) -> int:
     print(f"max label: {8 * max(sizes)} bits")
     print(f"avg label: {8 * sum(sizes) / len(sizes):.0f} bits")
     return 0
+
+
+def cmd_fsck(args: argparse.Namespace) -> int:
+    """``repro fsck``: integrity-check a saved label database."""
+    from repro.oracle.persistence import LabelDatabase
+
+    db = LabelDatabase.load(args.database, strict=False)
+    bad = db.verify()
+    print(f"format:    v{db.version}")
+    print(f"labels:    {db.num_vertices}")
+    if db.version < 2:
+        print("warning:   v1 database has no checksums; only decode "
+              "failures are detectable")
+    if not bad:
+        print("integrity: OK")
+        return 0
+    print(f"integrity: {len(bad)} corrupt label(s): "
+          f"{', '.join(map(str, bad[:20]))}"
+          f"{' ...' if len(bad) > 20 else ''}")
+    for vertex, reason in sorted(db.quarantined.items())[:20]:
+        print(f"  vertex {vertex}: {reason}")
+    return 1
+
+
+def cmd_chaos(args: argparse.Namespace) -> int:
+    """``repro chaos``: run seeded churn schedules with invariant checks."""
+    from repro.chaos import random_churn_plan, run_plan, standard_suite
+
+    if args.graph is None:
+        reports = standard_suite(
+            num_schedules=args.schedules,
+            num_events=args.events,
+            seed=args.seed,
+            epsilon=args.epsilon,
+        )
+    else:
+        graph = parse_graph_spec(args.graph)
+        reports = []
+        for i in range(args.schedules):
+            plan = random_churn_plan(
+                graph,
+                num_events=args.events,
+                seed=args.seed + i,
+                drop_probability=args.drop,
+                name=f"schedule {i} on {graph!r} (loss={args.drop})",
+            )
+            reports.append(run_plan(graph, plan, epsilon=args.epsilon))
+    violations = 0
+    for report in reports:
+        print(report.summary())
+        for line in report.violations:
+            print(f"  ! {line}")
+        violations += len(report.violations)
+    print(f"\n{len(reports)} schedule(s), {violations} invariant violation(s)")
+    return 0 if violations == 0 else 1
 
 
 def cmd_verify(args: argparse.Namespace) -> int:
@@ -186,6 +245,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_build.add_argument("-e", "--epsilon", type=float, default=1.0)
     p_build.add_argument("-o", "--output", default="labels.fsdl")
     p_build.add_argument("--low-level", choices=["full", "unit"], default="full")
+    p_build.add_argument(
+        "--format-version", type=int, choices=[1, 2], default=2,
+        help="on-disk format: 2 = checksummed (default), 1 = legacy",
+    )
     p_build.set_defaults(func=cmd_build)
 
     p_query = sub.add_parser("query", help="query a saved label database")
@@ -201,6 +264,27 @@ def build_parser() -> argparse.ArgumentParser:
     p_info = sub.add_parser("info", help="inspect a saved label database")
     p_info.add_argument("database")
     p_info.set_defaults(func=cmd_info)
+
+    p_fsck = sub.add_parser(
+        "fsck", help="integrity-check a saved label database"
+    )
+    p_fsck.add_argument("database")
+    p_fsck.set_defaults(func=cmd_fsck)
+
+    p_chaos = sub.add_parser(
+        "chaos", help="run seeded churn schedules with invariant checks"
+    )
+    p_chaos.add_argument(
+        "graph", nargs="?", default=None,
+        help="graph spec (omit to run the standard mixed-graph suite)",
+    )
+    p_chaos.add_argument("--schedules", type=int, default=5)
+    p_chaos.add_argument("--events", type=int, default=100)
+    p_chaos.add_argument("--seed", type=int, default=0)
+    p_chaos.add_argument("--drop", type=float, default=0.0,
+                         help="per-link message-drop probability")
+    p_chaos.add_argument("-e", "--epsilon", type=float, default=1.0)
+    p_chaos.set_defaults(func=cmd_chaos)
 
     p_verify = sub.add_parser(
         "verify", help="check a scheme against the paper's definitions"

@@ -21,5 +21,15 @@ class EncodingError(ReproError):
     """Raised when a serialized label cannot be decoded."""
 
 
+class LabelCorruptionError(EncodingError):
+    """Raised when stored label bytes fail an integrity check.
+
+    Distinguishes *damaged data* (bit rot, truncation, tampering —
+    detected by the v2 database checksums or a failed decode) from
+    structurally unreadable input; catching :class:`EncodingError`
+    still catches both.
+    """
+
+
 class RoutingError(ReproError):
     """Raised when packet forwarding cannot make progress."""

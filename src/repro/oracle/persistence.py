@@ -5,11 +5,32 @@ label of every vertex, plus the scheme parameters — everything a server
 (or a fleet of hand-held devices, per the paper's motivation) needs to
 answer forbidden-set queries with **no access to the graph**.
 
-Format (version 1, little-endian):
+Two on-disk versions exist (see ``docs/formats.md`` for the byte-level
+layout):
 
-* magic ``b"FSDL"`` + version byte;
-* header: ``n``, ``epsilon`` (8-byte IEEE), ``c``, ``top_level``;
-* ``n`` length-prefixed encoded labels (vertex id = position).
+* **version 1** (legacy, read-only): magic ``b"FSDL"`` + version byte,
+  header ``n``/``epsilon``/``c``/``top_level``, then ``n``
+  length-prefixed encoded labels.  No integrity protection.
+* **version 2** (default): same logical content plus a CRC32 over the
+  header and a CRC32 per label entry, so that bit rot, truncation and
+  lying length fields are *detected* instead of silently decoding into
+  a wrong distance.
+
+Integrity model
+---------------
+
+``LabelDatabase.load`` always bounds-checks every length field against
+the file size before allocating, so no corruption can make it read past
+EOF or balloon memory.  On top of that, version 2 checks:
+
+* the header checksum at load time (always — a bad header means ``n``
+  or ``epsilon`` cannot be trusted);
+* each label's checksum, either eagerly (``strict=True``, the default:
+  a single bad byte anywhere fails the load with
+  :class:`~repro.exceptions.LabelCorruptionError`) or lazily
+  (``strict=False``: corrupt labels are *quarantined* and the database
+  degrades gracefully — only a query that actually touches a corrupt
+  label raises).
 """
 
 from __future__ import annotations
@@ -17,26 +38,40 @@ from __future__ import annotations
 import io
 import math
 import struct
+import zlib
 from typing import BinaryIO, Iterable
 
-from repro.exceptions import EncodingError, QueryError
+from repro.exceptions import EncodingError, LabelCorruptionError, QueryError
 from repro.labeling.decoder import FaultSet, QueryResult, decode_distance
 from repro.labeling.encoding import decode_label, encode_label
 
 _MAGIC = b"FSDL"
-_VERSION = 1
+_V1 = 1
+_V2 = 2
+DEFAULT_VERSION = _V2
+SUPPORTED_VERSIONS = (_V1, _V2)
+
+_HEADER = struct.Struct("<IdII")  # n, epsilon, c, top_level
+_U32 = struct.Struct("<I")
 
 
-def save_labels(scheme, path_or_file) -> int:
+def save_labels(scheme, path_or_file, version: int = DEFAULT_VERSION) -> int:
     """Write every label of ``scheme`` (any object with ``label(v)`` and a
     graph-sized vertex space reachable via ``build_all_labels`` or
     ``_graph``) to ``path_or_file``.  Returns the byte size written.
+
+    ``version=2`` (default) writes the checksummed format;
+    ``version=1`` writes the legacy unprotected format for
+    compatibility tests and old readers.
     """
+    if version not in SUPPORTED_VERSIONS:
+        raise EncodingError(f"cannot write version {version}; "
+                            f"supported: {SUPPORTED_VERSIONS}")
     labels = _collect_labels(scheme)
     if hasattr(path_or_file, "write"):
-        return _write(path_or_file, labels, scheme)
+        return _write(path_or_file, labels, scheme, version)
     with open(path_or_file, "wb") as handle:
-        return _write(handle, labels, scheme)
+        return _write(handle, labels, scheme, version)
 
 
 def _collect_labels(scheme) -> list:
@@ -44,21 +79,59 @@ def _collect_labels(scheme) -> list:
     return [scheme.label(v) for v in graph.vertices()]
 
 
-def _write(handle: BinaryIO, labels, scheme) -> int:
+def _write(handle: BinaryIO, labels, scheme, version: int) -> int:
     params = scheme.params
     payload = io.BytesIO()
     payload.write(_MAGIC)
-    payload.write(bytes([_VERSION]))
-    payload.write(struct.pack("<I", len(labels)))
-    payload.write(struct.pack("<d", params.epsilon))
-    payload.write(struct.pack("<II", params.c, params.top_level))
+    payload.write(bytes([version]))
+    header = _HEADER.pack(len(labels), params.epsilon, params.c,
+                          params.top_level)
+    payload.write(header)
+    if version >= _V2:
+        payload.write(_U32.pack(
+            zlib.crc32(_MAGIC + bytes([version]) + header)
+        ))
     for label in labels:
         data = encode_label(label)
-        payload.write(struct.pack("<I", len(data)))
+        length = _U32.pack(len(data))
+        payload.write(length)
+        if version >= _V2:
+            payload.write(_U32.pack(zlib.crc32(length + data)))
         payload.write(data)
     blob = payload.getvalue()
     handle.write(blob)
     return len(blob)
+
+
+class _Cursor:
+    """Bounds-checked reader over an in-memory blob.
+
+    Every read validates against the blob size *before* slicing, so a
+    lying length field raises :class:`EncodingError` instead of reading
+    past EOF (or allocating a 4 GiB buffer).
+    """
+
+    __slots__ = ("blob", "pos")
+
+    def __init__(self, blob: bytes) -> None:
+        self.blob = blob
+        self.pos = 0
+
+    def remaining(self) -> int:
+        return len(self.blob) - self.pos
+
+    def take(self, size: int, what: str) -> bytes:
+        if size < 0 or self.pos + size > len(self.blob):
+            raise EncodingError(
+                f"truncated label database: {what} needs {size} bytes at "
+                f"offset {self.pos}, only {self.remaining()} available"
+            )
+        chunk = self.blob[self.pos:self.pos + size]
+        self.pos += size
+        return chunk
+
+    def u32(self, what: str) -> int:
+        return _U32.unpack(self.take(4, what))[0]
 
 
 class LabelDatabase:
@@ -83,39 +156,105 @@ class LabelDatabase:
         epsilon: float,
         c: int,
         top_level: int,
+        version: int = DEFAULT_VERSION,
+        quarantined: dict[int, str] | None = None,
     ) -> None:
         self._table = encoded_labels
         self.epsilon = epsilon
         self.c = c
         self.top_level = top_level
+        self.version = version
+        self._quarantined = dict(quarantined or {})
 
     @classmethod
-    def load(cls, path_or_file) -> "LabelDatabase":
-        """Read a database written by :func:`save_labels`."""
+    def load(cls, path_or_file, strict: bool = True) -> "LabelDatabase":
+        """Read a database written by :func:`save_labels`.
+
+        ``strict=True`` (default) fails fast: any integrity violation —
+        bad header checksum, bad label checksum, truncation, trailing
+        garbage — raises :class:`EncodingError` (checksum failures use
+        the :class:`LabelCorruptionError` subclass).  ``strict=False``
+        *quarantines* labels whose checksum fails instead of raising;
+        the database stays queryable and only a query that touches a
+        quarantined label raises.  Structural damage (bad magic,
+        truncation, lying lengths) is fatal in both modes — framing
+        cannot be recovered.
+        """
         if hasattr(path_or_file, "read"):
-            return cls._read(path_or_file)
+            return cls._read(path_or_file, strict)
         with open(path_or_file, "rb") as handle:
-            return cls._read(handle)
+            return cls._read(handle, strict)
 
     @classmethod
-    def _read(cls, handle: BinaryIO) -> "LabelDatabase":
-        magic = handle.read(4)
+    def _read(cls, handle: BinaryIO, strict: bool = True) -> "LabelDatabase":
+        cursor = _Cursor(handle.read())
+        magic = cursor.take(4, "magic")
         if magic != _MAGIC:
             raise EncodingError(f"bad magic {magic!r}; not a label database")
-        version = handle.read(1)[0]
-        if version != _VERSION:
+        version = cursor.take(1, "version byte")[0]
+        if version not in SUPPORTED_VERSIONS:
             raise EncodingError(f"unsupported version {version}")
-        (n,) = struct.unpack("<I", handle.read(4))
-        (epsilon,) = struct.unpack("<d", handle.read(8))
-        c, top_level = struct.unpack("<II", handle.read(8))
-        table = []
-        for _ in range(n):
-            (length,) = struct.unpack("<I", handle.read(4))
-            data = handle.read(length)
-            if len(data) != length:
-                raise EncodingError("truncated label database")
+        header = cursor.take(_HEADER.size, "header")
+        n, epsilon, c, top_level = _HEADER.unpack(header)
+        if version >= _V2:
+            stored = cursor.u32("header checksum")
+            actual = zlib.crc32(magic + bytes([version]) + header)
+            if stored != actual:
+                raise LabelCorruptionError(
+                    f"header checksum mismatch: stored {stored:#010x}, "
+                    f"computed {actual:#010x}"
+                )
+        table: list[bytes] = []
+        quarantined: dict[int, str] = {}
+        for vertex in range(n):
+            length_bytes = cursor.take(4, f"label {vertex} length")
+            (length,) = _U32.unpack(length_bytes)
+            if version >= _V2:
+                stored = cursor.u32(f"label {vertex} checksum")
+                data = cursor.take(length, f"label {vertex} payload")
+                actual = zlib.crc32(length_bytes + data)
+                if stored != actual:
+                    reason = (
+                        f"label {vertex} checksum mismatch: stored "
+                        f"{stored:#010x}, computed {actual:#010x}"
+                    )
+                    if strict:
+                        raise LabelCorruptionError(reason)
+                    quarantined[vertex] = reason
+            else:
+                data = cursor.take(length, f"label {vertex} payload")
             table.append(data)
-        return cls(table, epsilon=epsilon, c=c, top_level=top_level)
+        if cursor.remaining():
+            raise EncodingError(
+                f"trailing data: {cursor.remaining()} bytes past the last "
+                "label entry"
+            )
+        return cls(table, epsilon=epsilon, c=c, top_level=top_level,
+                   version=version, quarantined=quarantined)
+
+    # -- integrity ---------------------------------------------------------
+
+    def verify(self) -> list[int]:
+        """Re-check every stored label; return the corrupt vertex ids.
+
+        A label is corrupt if it was quarantined at load time or if its
+        bytes fail to decode into a structurally valid label.  An empty
+        list means the whole database is healthy.
+        """
+        bad = set(self._quarantined)
+        for vertex, data in enumerate(self._table):
+            if vertex in bad:
+                continue
+            try:
+                decode_label(data)
+            except Exception:
+                bad.add(vertex)
+        return sorted(bad)
+
+    @property
+    def quarantined(self) -> dict[int, str]:
+        """Vertices quarantined by a ``strict=False`` load (id → reason)."""
+        return dict(self._quarantined)
 
     # -- queries ----------------------------------------------------------
 
@@ -125,10 +264,25 @@ class LabelDatabase:
         return len(self._table)
 
     def label(self, vertex: int):
-        """Decode one stored label."""
+        """Decode one stored label.
+
+        Raises :class:`QueryError` for an out-of-range vertex and
+        :class:`LabelCorruptionError` when the stored bytes are
+        quarantined or fail to decode.
+        """
         if not 0 <= vertex < len(self._table):
             raise QueryError(f"vertex {vertex} out of range")
-        return decode_label(self._table[vertex])
+        reason = self._quarantined.get(vertex)
+        if reason is not None:
+            raise LabelCorruptionError(f"label {vertex} is quarantined: {reason}")
+        try:
+            return decode_label(self._table[vertex])
+        except EncodingError as exc:
+            raise LabelCorruptionError(f"label {vertex}: {exc}") from exc
+        except Exception as exc:  # corrupt bitstream: struct/index/value errors
+            raise LabelCorruptionError(
+                f"label {vertex} failed to decode: {exc!r}"
+            ) from exc
 
     def query(
         self,

@@ -95,6 +95,8 @@ class NetworkSimulator:
 
     def fail_vertex(self, v: int) -> None:
         """Fail a router; its live neighbors learn by probing (if enabled)."""
+        if not 0 <= v < self._graph.num_vertices:
+            raise QueryError(f"vertex {v} is not in the graph")
         self._truth.vertices.add(v)
         if self._probe_on_failure:
             for u in self._graph.neighbors(v):
@@ -127,11 +129,30 @@ class NetworkSimulator:
 
     # -- knowledge dissemination ------------------------------------------------
 
-    def propagate(self, rounds: int = 1) -> int:
+    def propagate(
+        self,
+        rounds: int = 1,
+        drop_probability: float = 0.0,
+        rng=None,
+    ) -> int:
         """Flood knowledge over surviving links for ``rounds`` ticks.
+
+        ``drop_probability`` models lossy links: each per-link message
+        (one neighbor's view, each direction, each round) is
+        independently dropped with that probability, using the seeded
+        ``rng`` (see :func:`repro.util.rng.make_rng`).  The default is
+        the original lossless flood and consumes no randomness.
 
         Returns the number of (router, fact)-merges that learned something.
         """
+        if not 0.0 <= drop_probability <= 1.0:
+            raise ValueError(
+                f"drop_probability must be in [0, 1], got {drop_probability}"
+            )
+        if drop_probability > 0.0:
+            from repro.util.rng import make_rng
+
+            rng = make_rng(rng)
         learned = 0
         for _ in range(rounds):
             snapshot = {v: view.copy() for v, view in self._views.items()}
@@ -143,6 +164,8 @@ class NetworkSimulator:
                         continue
                     if (min(u, v), max(u, v)) in self._truth.edges:
                         continue
+                    if drop_probability > 0.0 and rng.random() < drop_probability:
+                        continue
                     if self._views[u].merge(snapshot[v]):
                         learned += 1
         return learned
@@ -150,6 +173,47 @@ class NetworkSimulator:
     def view(self, router: int) -> Knowledge:
         """The router's current knowledge (mutating it models misinformation)."""
         return self._views[router]
+
+    def ground_truth(self) -> Knowledge:
+        """A copy of the true failed set (for harnesses and invariants)."""
+        return self._truth.copy()
+
+    def apply_event(
+        self, event, drop_probability: float = 0.0, rng=None
+    ) -> int:
+        """Apply one fault-plan event (duck-typed on ``event.kind``).
+
+        Understands the :class:`repro.chaos.plan.ChaosEvent` kinds that
+        mutate the network — ``fail_vertex``, ``fail_edge``,
+        ``recover_vertex``, ``recover_edge``, ``partition``,
+        ``heal_partition`` and ``propagate`` (which honors
+        ``drop_probability``/``rng``).  ``send`` events are *not*
+        handled here; drivers route them through :meth:`send_packet` so
+        they can inspect the :class:`DeliveryReport`.  Returns the
+        number of merges for ``propagate`` events, else 0.
+        """
+        kind = event.kind
+        if kind == "fail_vertex":
+            self.fail_vertex(event.vertex)
+        elif kind == "fail_edge":
+            self.fail_edge(*event.edge)
+        elif kind == "recover_vertex":
+            self.recover_vertex(event.vertex)
+        elif kind == "recover_edge":
+            self.recover_edge(*event.edge)
+        elif kind == "partition":
+            for a, b in event.edges:
+                self.fail_edge(a, b)
+        elif kind == "heal_partition":
+            for a, b in event.edges:
+                self.recover_edge(a, b)
+        elif kind == "propagate":
+            return self.propagate(
+                event.rounds, drop_probability=drop_probability, rng=rng
+            )
+        else:
+            raise QueryError(f"cannot apply event kind {kind!r}")
+        return 0
 
     def awareness(self) -> float:
         """Fraction of (live router, true fact) pairs currently known."""

@@ -93,3 +93,39 @@ class TestCommands:
         assert main(
             ["build", "grid:5x5", "--low-level", "unit", "-o", db_path]
         ) == 0
+
+    def test_build_legacy_format_roundtrip(self, tmp_path, capsys):
+        db_path = str(tmp_path / "legacy.fsdl")
+        assert main(
+            ["build", "cycle:12", "-o", db_path, "--format-version", "1"]
+        ) == 0
+        capsys.readouterr()
+        assert main(["info", db_path]) == 0
+        assert "format:    v1" in capsys.readouterr().out
+
+
+class TestChaosCommands:
+    def test_fsck_healthy_database(self, tmp_path, capsys):
+        db_path = str(tmp_path / "labels.fsdl")
+        main(["build", "cycle:12", "-o", db_path])
+        capsys.readouterr()
+        assert main(["fsck", db_path]) == 0
+        assert "integrity: OK" in capsys.readouterr().out
+
+    def test_fsck_flags_corruption(self, tmp_path, capsys):
+        db_path = tmp_path / "labels.fsdl"
+        main(["build", "cycle:12", "-o", str(db_path)])
+        blob = bytearray(db_path.read_bytes())
+        blob[-1] ^= 0xFF  # inside the last label's payload
+        db_path.write_bytes(bytes(blob))
+        capsys.readouterr()
+        assert main(["fsck", str(db_path)]) == 1
+        out = capsys.readouterr().out
+        assert "corrupt label" in out
+
+    def test_chaos_command_on_spec(self, capsys):
+        assert main(
+            ["chaos", "cycle:16", "--schedules", "1", "--events", "20"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "0 invariant violation(s)" in out

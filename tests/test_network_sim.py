@@ -36,6 +36,99 @@ class TestHealthyDelivery:
             sim.send_packet(0, 4)
 
 
+class TestEventValidation:
+    def test_fail_unknown_vertex_rejected(self):
+        sim = NetworkSimulator(path_graph(5))
+        with pytest.raises(QueryError):
+            sim.fail_vertex(5)
+        with pytest.raises(QueryError):
+            sim.fail_vertex(-1)
+
+    def test_fail_unknown_edge_rejected(self):
+        sim = NetworkSimulator(path_graph(5))
+        with pytest.raises(QueryError):
+            sim.fail_edge(0, 2)
+
+    def test_ground_truth_is_a_copy(self):
+        sim = NetworkSimulator(path_graph(5))
+        sim.fail_vertex(2)
+        truth = sim.ground_truth()
+        truth.vertices.add(3)
+        assert sim.ground_truth().vertices == {2}
+
+    def test_apply_event_dispatch(self):
+        from repro.chaos import ChaosEvent
+
+        g = grid_graph(3, 3)
+        sim = NetworkSimulator(g)
+        sim.apply_event(ChaosEvent(kind="fail_vertex", vertex=4))
+        sim.apply_event(ChaosEvent(kind="fail_edge", edge=(0, 1)))
+        assert sim.ground_truth().vertices == {4}
+        assert sim.ground_truth().edges == {(0, 1)}
+        sim.apply_event(ChaosEvent(kind="recover_vertex", vertex=4))
+        sim.apply_event(ChaosEvent(kind="recover_edge", edge=(0, 1)))
+        assert sim.awareness() == 1.0
+        cut = ((0, 1), (3, 4))
+        sim.apply_event(ChaosEvent(kind="partition", edges=cut))
+        assert sim.ground_truth().edges == set(cut)
+        sim.apply_event(ChaosEvent(kind="heal_partition", edges=cut))
+        assert sim.ground_truth().edges == set()
+
+    def test_apply_event_rejects_send_and_unknown(self):
+        from repro.chaos import ChaosEvent
+
+        sim = NetworkSimulator(path_graph(5))
+        with pytest.raises(QueryError):
+            sim.apply_event(ChaosEvent(kind="send", s=0, t=1))
+
+
+class TestLossyPropagation:
+    def test_total_loss_learns_nothing(self):
+        g = grid_graph(5, 5)
+        sim = NetworkSimulator(g, probe_on_failure=False)
+        sim.fail_vertex(12)
+        sim.view(11).vertices.add(12)  # one witness, links all lossy
+        assert sim.propagate(rounds=5, drop_probability=1.0) == 0
+        assert all(
+            12 not in sim.view(u).vertices
+            for u in g.vertices()
+            if u not in (11, 12)
+        )
+
+    def test_partial_loss_slows_flooding(self):
+        def awareness_after(drop):
+            sim = NetworkSimulator(cycle_graph(20), probe_on_failure=False)
+            sim.fail_vertex(10)
+            sim.view(9).vertices.add(10)
+            sim.propagate(rounds=4, drop_probability=drop, rng=7)
+            return sim.awareness()
+
+        assert awareness_after(0.9) < awareness_after(0.0)
+
+    def test_lossy_flood_is_seeded(self):
+        def run(seed):
+            sim = NetworkSimulator(grid_graph(4, 4), probe_on_failure=False)
+            sim.fail_vertex(5)
+            sim.view(4).vertices.add(5)
+            sim.propagate(rounds=3, drop_probability=0.5, rng=seed)
+            return {
+                u: frozenset(sim.view(u).vertices) for u in range(16)
+            }
+
+        assert run(3) == run(3)
+
+    def test_bad_drop_probability_rejected(self):
+        sim = NetworkSimulator(path_graph(5))
+        with pytest.raises(ValueError):
+            sim.propagate(drop_probability=1.5)
+
+    def test_lossless_default_unchanged(self):
+        sim = NetworkSimulator(cycle_graph(12))
+        sim.fail_vertex(6)
+        sim.propagate(rounds=12)
+        assert sim.awareness() == 1.0
+
+
 class TestProbing:
     def test_neighbors_learn_on_failure(self):
         g = grid_graph(5, 5)

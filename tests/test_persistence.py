@@ -2,11 +2,13 @@
 
 import io
 import math
+import struct
+import zlib
 
 import pytest
 
 from repro.baselines import ExactRecomputeOracle
-from repro.exceptions import EncodingError, QueryError
+from repro.exceptions import EncodingError, LabelCorruptionError, QueryError
 from repro.graphs.generators import cycle_graph, grid_graph
 from repro.labeling import ForbiddenSetLabeling
 from repro.oracle.persistence import LabelDatabase, save_labels
@@ -115,3 +117,133 @@ class TestFileFormat:
         blob = b"FSDL" + bytes([99]) + b"\x00" * 24
         with pytest.raises(EncodingError):
             LabelDatabase.load(io.BytesIO(blob))
+
+    @pytest.mark.parametrize("cut", [0, 3, 4, 5, 7, 20, 28])
+    def test_short_header_raises_encoding_error(self, cut):
+        # a truncated header must surface as EncodingError, never as a
+        # raw struct.error / IndexError
+        g = cycle_graph(8)
+        scheme = ForbiddenSetLabeling(g, epsilon=1.0)
+        for version in (1, 2):
+            buffer = io.BytesIO()
+            save_labels(scheme, buffer, version=version)
+            with pytest.raises(EncodingError):
+                LabelDatabase.load(io.BytesIO(buffer.getvalue()[:cut]))
+
+    def test_unwritable_version_rejected(self):
+        g = cycle_graph(8)
+        scheme = ForbiddenSetLabeling(g, epsilon=1.0)
+        with pytest.raises(EncodingError):
+            save_labels(scheme, io.BytesIO(), version=3)
+
+
+def _v2_blob(graph=None, epsilon=1.0):
+    scheme = ForbiddenSetLabeling(graph or grid_graph(4, 4), epsilon=epsilon)
+    buffer = io.BytesIO()
+    save_labels(scheme, buffer, version=2)
+    return buffer.getvalue()
+
+
+# v2 layout: magic(4) version(1) header(20) header_crc(4), then per
+# entry length(4) crc(4) data(length)
+_FIRST_ENTRY = 29
+_FIRST_DATA = _FIRST_ENTRY + 8
+
+
+class TestV2Integrity:
+    def test_version_attribute(self):
+        db = LabelDatabase.load(io.BytesIO(_v2_blob()))
+        assert db.version == 2
+        assert db.quarantined == {}
+        assert db.verify() == []
+
+    def test_header_corruption_detected(self):
+        blob = bytearray(_v2_blob())
+        blob[10] ^= 0x40  # inside epsilon
+        with pytest.raises(LabelCorruptionError):
+            LabelDatabase.load(io.BytesIO(bytes(blob)))
+
+    def test_label_corruption_strict_fails_fast(self):
+        blob = bytearray(_v2_blob())
+        blob[_FIRST_DATA] ^= 0x01
+        with pytest.raises(LabelCorruptionError):
+            LabelDatabase.load(io.BytesIO(bytes(blob)), strict=True)
+
+    def test_label_corruption_quarantined_lazily(self):
+        blob = bytearray(_v2_blob())
+        blob[_FIRST_DATA] ^= 0x01  # damage label 0 only
+        db = LabelDatabase.load(io.BytesIO(bytes(blob)), strict=False)
+        assert list(db.quarantined) == [0]
+        assert db.verify() == [0]
+        # untouched labels still answer, identically to the pristine db
+        pristine = LabelDatabase.load(io.BytesIO(_v2_blob()))
+        assert (
+            db.query(5, 10).distance == pristine.query(5, 10).distance
+        )
+        # any query touching the quarantined label raises
+        with pytest.raises(LabelCorruptionError):
+            db.label(0)
+        with pytest.raises(LabelCorruptionError):
+            db.query(0, 10)
+        with pytest.raises(LabelCorruptionError):
+            db.query(5, 10, vertex_faults=[0])
+
+    def test_lying_length_field_rejected_before_allocation(self):
+        blob = bytearray(_v2_blob())
+        blob[_FIRST_ENTRY:_FIRST_ENTRY + 4] = struct.pack("<I", 0xFFFFFFF0)
+        with pytest.raises(EncodingError):
+            LabelDatabase.load(io.BytesIO(bytes(blob)))
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(EncodingError):
+            LabelDatabase.load(io.BytesIO(_v2_blob() + b"\x00"))
+
+    def test_crc_actually_stored(self):
+        blob = _v2_blob()
+        header_crc = struct.unpack("<I", blob[25:29])[0]
+        assert header_crc == zlib.crc32(blob[:25])
+        length = struct.unpack("<I", blob[29:33])[0]
+        entry_crc = struct.unpack("<I", blob[33:37])[0]
+        assert entry_crc == zlib.crc32(blob[29:33] + blob[37:37 + length])
+
+
+class TestV1Compatibility:
+    def test_v1_still_loads_and_answers_identically(self):
+        g = grid_graph(5, 5)
+        scheme = ForbiddenSetLabeling(g, epsilon=1.0)
+        v1, v2 = io.BytesIO(), io.BytesIO()
+        save_labels(scheme, v1, version=1)
+        save_labels(scheme, v2, version=2)
+        assert v1.getvalue()[4] == 1 and v2.getvalue()[4] == 2
+        db1 = LabelDatabase.load(io.BytesIO(v1.getvalue()))
+        db2 = LabelDatabase.load(io.BytesIO(v2.getvalue()))
+        assert db1.version == 1
+        assert db1.num_vertices == db2.num_vertices
+        assert db1.size_bits() == db2.size_bits()
+        for s, t, faults in [(0, 24, []), (0, 24, [12]), (4, 20, [10, 14])]:
+            assert (
+                db1.query(s, t, vertex_faults=faults).distance
+                == db2.query(s, t, vertex_faults=faults).distance
+            )
+
+    def test_v1_byte_layout_matches_seed_format(self):
+        # the legacy writer's exact framing: magic, version, <I n,
+        # <d epsilon, <II c top_level, then length-prefixed labels
+        g = cycle_graph(6)
+        scheme = ForbiddenSetLabeling(g, epsilon=1.0)
+        buffer = io.BytesIO()
+        save_labels(scheme, buffer, version=1)
+        blob = buffer.getvalue()
+        assert blob[:4] == b"FSDL"
+        (n,) = struct.unpack_from("<I", blob, 5)
+        assert n == 6
+        (epsilon,) = struct.unpack_from("<d", blob, 9)
+        assert epsilon == 1.0
+
+    def test_v1_fsck_relies_on_decode_only(self):
+        g = cycle_graph(8)
+        scheme = ForbiddenSetLabeling(g, epsilon=1.0)
+        buffer = io.BytesIO()
+        save_labels(scheme, buffer, version=1)
+        db = LabelDatabase.load(io.BytesIO(buffer.getvalue()))
+        assert db.verify() == []

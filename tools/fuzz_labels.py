@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""Standalone seeded corruption smoke for label databases.
+
+Builds a scheme, saves a v2 database, then replays seeded corruptions
+(bit flips, overwritten bytes, truncations, appended garbage, lying
+length fields) and demands **error or exact answer** from both the
+strict and the quarantine load paths — a silently wrong distance fails
+the run.
+
+Usage::
+
+    PYTHONPATH=src python tools/fuzz_labels.py [--trials 300] [--seed 0]
+        [--graph grid:6x6] [--epsilon 1.0] [--probes 6]
+
+Exit status 0 = no silent-wrong answers; 1 otherwise.  Runnable in CI
+as a smoke independent of pytest.
+"""
+
+from __future__ import annotations
+
+import argparse
+import io
+import sys
+import time
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--trials", type=int, default=300)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--graph", default="grid:6x6")
+    parser.add_argument("--epsilon", type=float, default=1.0)
+    parser.add_argument("--probes", type=int, default=6,
+                        help="number of probe queries checked per mutation")
+    args = parser.parse_args(argv)
+
+    from repro.chaos import fuzz_database
+    from repro.cli import parse_graph_spec
+    from repro.labeling import ForbiddenSetLabeling
+    from repro.oracle.persistence import save_labels
+    from repro.util.rng import make_rng
+
+    graph = parse_graph_spec(args.graph)
+    scheme = ForbiddenSetLabeling(graph, epsilon=args.epsilon)
+    buffer = io.BytesIO()
+    size = save_labels(scheme, buffer)
+    blob = buffer.getvalue()
+    print(f"database: {graph!r} at eps={args.epsilon}, {size} bytes (v2)")
+
+    rng = make_rng(args.seed)
+    n = graph.num_vertices
+    probes = []
+    while len(probes) < args.probes:
+        s, t = rng.sample(range(n), 2)
+        faults = tuple(
+            f for f in rng.sample(range(n), rng.randint(0, 2))
+            if f not in (s, t)
+        )
+        probes.append((s, t, faults))
+
+    start = time.time()
+    report = fuzz_database(blob, probes, trials=args.trials, seed=args.seed)
+    elapsed = time.time() - start
+    print(report.summary())
+    print(f"elapsed: {elapsed:.1f}s")
+    for line in report.silent_wrong[:10]:
+        print(f"  ! {line}", file=sys.stderr)
+    return 0 if report.ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
