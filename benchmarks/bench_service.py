@@ -1,0 +1,85 @@
+"""Serving-tier latency under fault injection.
+
+Measures the query path of :class:`repro.service.QueryService` —
+sharded fetches, retries, hedging, breakers — at shard fault rates of
+0%, 1% and 10%, reporting the p50/p99 *virtual* latency per query
+(the deterministic simulated milliseconds each answer cost) alongside
+pytest-benchmark's wall-clock timing of the batch.
+
+Run with::
+
+    pytest benchmarks/bench_service.py --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+from repro.graphs.generators import grid_graph
+from repro.service import QueryService
+from repro.util.rng import make_rng
+
+BATCH = 200
+
+
+def _percentile(values: list[float], q: float) -> float:
+    ordered = sorted(values)
+    index = min(len(ordered) - 1, round(q * (len(ordered) - 1)))
+    return ordered[index]
+
+
+def _run_batch(fault_rate: float) -> dict[str, float]:
+    graph = grid_graph(8, 8)
+    service = QueryService.from_oracle(
+        _run_batch.oracle, num_shards=4, replication=2,
+        store_seed=11, seed=13,
+    )
+    if fault_rate > 0:
+        for shard in range(service.store.num_shards):
+            service.store.set_flaky(shard, fault_rate)
+    rng = make_rng(17)
+    n = graph.num_vertices
+    latencies = []
+    for _ in range(BATCH):
+        s, t = rng.sample(range(n), 2)
+        faults = rng.sample([v for v in range(n) if v not in (s, t)], 2)
+        outcome = service.query(s, t, vertex_faults=faults)
+        latencies.append(outcome.latency_ms)
+    summary = service.metrics_summary()
+    return {
+        "fault_rate": fault_rate,
+        "p50_ms": _percentile(latencies, 0.50),
+        "p99_ms": _percentile(latencies, 0.99),
+        "degraded_rate": summary["degraded_rate"],
+        "retries": summary["retries"],
+        "hedges": summary["hedges"],
+    }
+
+
+def _bench(benchmark, fault_rate: float) -> None:
+    from repro.oracle.oracle import ForbiddenSetDistanceOracle
+
+    if not hasattr(_run_batch, "oracle"):
+        _run_batch.oracle = ForbiddenSetDistanceOracle(
+            grid_graph(8, 8), epsilon=1.0
+        )
+    stats = benchmark.pedantic(
+        _run_batch, args=(fault_rate,), rounds=3, iterations=1
+    )
+    print(
+        f"\nfault rate {stats['fault_rate']:.0%}: "
+        f"p50 {stats['p50_ms']:.2f} ms, p99 {stats['p99_ms']:.2f} ms "
+        f"(virtual), degraded rate {stats['degraded_rate']:.3f}, "
+        f"{stats['retries']} retries, {stats['hedges']} hedges"
+    )
+    assert stats["p50_ms"] >= 0
+
+
+def bench_service_healthy(benchmark):
+    _bench(benchmark, 0.0)
+
+
+def bench_service_faults_1pct(benchmark):
+    _bench(benchmark, 0.01)
+
+
+def bench_service_faults_10pct(benchmark):
+    _bench(benchmark, 0.10)

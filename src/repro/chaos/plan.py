@@ -26,7 +26,8 @@ from repro.exceptions import QueryError
 from repro.graphs.graph import Graph
 from repro.util.rng import RngLike, make_rng
 
-EVENT_KINDS = frozenset({
+#: events understood by the network-simulator runner
+NETWORK_EVENT_KINDS = frozenset({
     "fail_vertex",
     "fail_edge",
     "recover_vertex",
@@ -36,6 +37,20 @@ EVENT_KINDS = frozenset({
     "partition",
     "heal_partition",
 })
+
+#: events understood by the label-serving runner
+#: (:class:`repro.chaos.service_runner.ServiceChaosRunner`)
+SERVICE_EVENT_KINDS = frozenset({
+    "shard_down",
+    "shard_recover",
+    "shard_slow",
+    "shard_flaky",
+    "shard_corrupt",
+    "query",
+    "advance",
+})
+
+EVENT_KINDS = NETWORK_EVENT_KINDS | SERVICE_EVENT_KINDS
 
 
 @dataclass(frozen=True)
@@ -47,6 +62,14 @@ class ChaosEvent:
     ``recover_edge`` carry ``edge``; ``send`` carries ``(s, t)``;
     ``propagate`` carries ``rounds``; ``partition`` /
     ``heal_partition`` carry the cut as ``edges``.
+
+    Shard-level (serving-tier) events: ``shard_down`` /
+    ``shard_recover`` carry ``shard``; ``shard_slow`` carries
+    ``shard`` + ``latency_ms``; ``shard_flaky`` and ``shard_corrupt``
+    carry ``shard`` + ``probability`` (failure probability resp.
+    corrupted fraction); ``query`` carries ``(s, t)`` plus optional
+    ``faults`` / ``fault_edges``; ``advance`` carries ``latency_ms``
+    of virtual time to let pass (cooldowns, backoff windows).
     """
 
     kind: str
@@ -56,6 +79,11 @@ class ChaosEvent:
     t: int | None = None
     rounds: int = 1
     edges: tuple[tuple[int, int], ...] = ()
+    shard: int | None = None
+    latency_ms: float | None = None
+    probability: float | None = None
+    faults: tuple[int, ...] = ()
+    fault_edges: tuple[tuple[int, int], ...] = ()
 
     def __post_init__(self) -> None:
         if self.kind not in EVENT_KINDS:
@@ -64,10 +92,25 @@ class ChaosEvent:
             raise QueryError(f"{self.kind} event needs a vertex")
         if self.kind in ("fail_edge", "recover_edge") and self.edge is None:
             raise QueryError(f"{self.kind} event needs an edge")
-        if self.kind == "send" and (self.s is None or self.t is None):
-            raise QueryError("send event needs both endpoints")
+        if self.kind in ("send", "query") and (self.s is None or self.t is None):
+            raise QueryError(f"{self.kind} event needs both endpoints")
         if self.kind in ("partition", "heal_partition") and not self.edges:
             raise QueryError(f"{self.kind} event needs a non-empty cut")
+        if (
+            self.kind in SERVICE_EVENT_KINDS
+            and self.kind.startswith("shard_")
+            and self.shard is None
+        ):
+            raise QueryError(f"{self.kind} event needs a shard")
+        if self.kind in ("shard_slow", "advance") and (
+            self.latency_ms is None or self.latency_ms <= 0
+        ):
+            raise QueryError(f"{self.kind} event needs a positive latency_ms")
+        if self.kind in ("shard_flaky", "shard_corrupt"):
+            if self.probability is None or not 0.0 < self.probability <= 1.0:
+                raise QueryError(
+                    f"{self.kind} event needs a probability in (0, 1]"
+                )
 
 
 @dataclass
@@ -133,6 +176,66 @@ class FaultPlan:
         """Schedule a partition window closing: recover the whole cut."""
         cut = tuple((min(a, b), max(a, b)) for a, b in edges)
         self.events.append(ChaosEvent(kind="heal_partition", edges=cut))
+        return self
+
+    # -- fluent shard-level (serving-tier) builders -------------------------
+
+    def shard_down(self, shard: int) -> "FaultPlan":
+        """Schedule a shard outage (fetches fail fast)."""
+        self.events.append(ChaosEvent(kind="shard_down", shard=shard))
+        return self
+
+    def shard_recover(self, shard: int) -> "FaultPlan":
+        """Schedule a shard recovery (pristine health and bytes)."""
+        self.events.append(ChaosEvent(kind="shard_recover", shard=shard))
+        return self
+
+    def shard_slow(self, shard: int, latency_ms: float) -> "FaultPlan":
+        """Schedule a shard slowdown to ``latency_ms`` per fetch."""
+        self.events.append(
+            ChaosEvent(kind="shard_slow", shard=shard, latency_ms=latency_ms)
+        )
+        return self
+
+    def shard_flaky(self, shard: int, probability: float) -> "FaultPlan":
+        """Schedule seeded probabilistic fetch failures on a shard."""
+        self.events.append(
+            ChaosEvent(
+                kind="shard_flaky", shard=shard, probability=probability
+            )
+        )
+        return self
+
+    def shard_corrupt(self, shard: int, fraction: float = 0.5) -> "FaultPlan":
+        """Schedule seeded corruption of a fraction of a shard's records."""
+        self.events.append(
+            ChaosEvent(
+                kind="shard_corrupt", shard=shard, probability=fraction
+            )
+        )
+        return self
+
+    def query(
+        self,
+        s: int,
+        t: int,
+        faults: tuple[int, ...] = (),
+        fault_edges: tuple[tuple[int, int], ...] = (),
+    ) -> "FaultPlan":
+        """Schedule a forbidden-set query whose outcome will be judged."""
+        self.events.append(
+            ChaosEvent(
+                kind="query", s=s, t=t, faults=tuple(faults),
+                fault_edges=tuple(
+                    (min(a, b), max(a, b)) for a, b in fault_edges
+                ),
+            )
+        )
+        return self
+
+    def advance(self, latency_ms: float) -> "FaultPlan":
+        """Schedule virtual-time passage (breaker cooldowns, quiet periods)."""
+        self.events.append(ChaosEvent(kind="advance", latency_ms=latency_ms))
         return self
 
     # -- plumbing ----------------------------------------------------------
@@ -266,4 +369,96 @@ def random_churn_plan(
         for _ in range(min(4, len(live) // 2)):
             s, t = rng.sample(live, 2)
             plan.send(s, t)
+    return plan
+
+
+def random_shard_plan(
+    graph: Graph,
+    num_shards: int = 4,
+    num_events: int = 60,
+    seed: RngLike = None,
+    max_vertex_faults: int = 3,
+    edge_fault_probability: float = 0.25,
+    stabilize: bool = True,
+    breaker_cooldown_ms: float = 250.0,
+    name: str | None = None,
+) -> FaultPlan:
+    """A seeded serving-tier schedule: shard faults interleaved with queries.
+
+    Mixes ``shard_down`` / ``shard_slow`` / ``shard_flaky`` /
+    ``shard_corrupt`` events (tracking shard health so every event is
+    meaningful — a down shard is not downed again), virtual-time
+    ``advance`` windows, and forbidden-set ``query`` events whose
+    outcomes the service runner judges against ground truth.  With
+    ``stabilize=True`` the plan ends by recovering every shard,
+    letting breaker cooldowns elapse, and probing with queries — so
+    every schedule exercises the "recovery restores exact answers"
+    invariant.
+    """
+    rng = make_rng(seed)
+    n = graph.num_vertices
+    if n < 4:
+        raise QueryError("shard plans need at least 4 vertices")
+    if num_shards < 1:
+        raise QueryError("shard plans need at least one shard")
+    edges = list(graph.edges())
+    unhealthy: dict[int, str] = {}
+    plan = FaultPlan(
+        seed=rng.randrange(1 << 30),
+        name=name or f"shard-chaos(n={n}, shards={num_shards}, "
+        f"events={num_events})",
+    )
+
+    def random_query() -> None:
+        s, t = rng.sample(range(n), 2)
+        pool = [v for v in range(n) if v not in (s, t)]
+        faults = tuple(
+            rng.sample(pool, min(len(pool), rng.randint(0, max_vertex_faults)))
+        )
+        fault_edges: tuple[tuple[int, int], ...] = ()
+        if edges and rng.random() < edge_fault_probability:
+            fault_edges = (rng.choice(edges),)
+        plan.query(s, t, faults=faults, fault_edges=fault_edges)
+
+    while len(plan.events) < num_events:
+        roll = rng.random()
+        healthy = [s for s in range(num_shards) if s not in unhealthy]
+        if roll < 0.10 and healthy:
+            shard = rng.choice(healthy)
+            unhealthy[shard] = "down"
+            plan.shard_down(shard)
+        elif roll < 0.18 and healthy:
+            shard = rng.choice(healthy)
+            unhealthy[shard] = "slow"
+            plan.shard_slow(shard, latency_ms=rng.choice([40.0, 80.0, 160.0]))
+        elif roll < 0.26 and healthy:
+            shard = rng.choice(healthy)
+            unhealthy[shard] = "flaky"
+            plan.shard_flaky(
+                shard, probability=rng.choice([0.3, 0.6, 0.9])
+            )
+        elif roll < 0.32 and healthy:
+            shard = rng.choice(healthy)
+            unhealthy[shard] = "corrupt"
+            plan.shard_corrupt(
+                shard, fraction=rng.choice([0.25, 0.5, 1.0])
+            )
+        elif roll < 0.44 and unhealthy:
+            shard = rng.choice(sorted(unhealthy))
+            del unhealthy[shard]
+            plan.shard_recover(shard)
+        elif roll < 0.52:
+            plan.advance(rng.choice([20.0, 60.0, 150.0, 400.0]))
+        else:
+            random_query()
+
+    if stabilize:
+        # recover everything, wait out every breaker cooldown, then
+        # probe: a healed tier must answer exactly again
+        for shard in sorted(unhealthy):
+            plan.shard_recover(shard)
+        unhealthy.clear()
+        plan.advance(2 * breaker_cooldown_ms)
+        for _ in range(4):
+            random_query()
     return plan

@@ -8,6 +8,8 @@ Subcommands::
     python -m repro fsck   labels.fsdl
     python -m repro verify GRAPH_SPEC -e 1.0
     python -m repro chaos  GRAPH_SPEC [--schedules 5] [--events 100] [--drop 0.2]
+    python -m repro serve-chaos GRAPH_SPEC [--schedules 5] [--events 60] \
+        [--shards 4] [--replication 2] [--no-hedging]
     python -m repro experiment E1 [E5 ...] [--full]
 
 ``GRAPH_SPEC`` selects a generator: ``path:64``, ``cycle:32``,
@@ -203,6 +205,67 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     return 0 if violations == 0 else 1
 
 
+def cmd_serve_chaos(args: argparse.Namespace) -> int:
+    """``repro serve-chaos``: shard-fault schedules against the service."""
+    from repro.chaos import (
+        random_shard_plan,
+        run_service_plan,
+        service_standard_suite,
+    )
+    from repro.service import RetryPolicy
+
+    if args.graph is None:
+        reports = service_standard_suite(
+            num_schedules=args.schedules,
+            num_events=args.events,
+            seed=args.seed,
+            epsilon=args.epsilon,
+        )
+    else:
+        graph = parse_graph_spec(args.graph)
+        retry = RetryPolicy(hedging=not args.no_hedging)
+        reports = []
+        for i in range(args.schedules):
+            plan = random_shard_plan(
+                graph,
+                num_shards=args.shards,
+                num_events=args.events,
+                seed=args.seed + i,
+                name=f"schedule {i} on {graph!r} (shards={args.shards}, "
+                f"replicas={args.replication})",
+            )
+            reports.append(run_service_plan(
+                graph, plan, epsilon=args.epsilon,
+                num_shards=args.shards, replication=args.replication,
+                retry=retry,
+            ))
+    violations = 0
+    totals = {
+        "queries": 0, "exact_answers": 0, "degraded_answers": 0,
+        "retries": 0, "hedges": 0, "breaker_trips": 0,
+    }
+    for report in reports:
+        print(report.summary())
+        for line in report.violations:
+            print(f"  ! {line}")
+        violations += len(report.violations)
+        for key in totals:
+            totals[key] += report.metrics.get(key, 0)
+    rate = (
+        totals["degraded_answers"] / totals["queries"]
+        if totals["queries"] else 0.0
+    )
+    print(
+        f"\n{len(reports)} schedule(s), {violations} invariant violation(s)\n"
+        f"totals: {totals['queries']} queries "
+        f"({totals['exact_answers']} exact, "
+        f"{totals['degraded_answers']} degraded, rate {rate:.2f}), "
+        f"{totals['retries']} retries, {totals['hedges']} hedges, "
+        f"{totals['breaker_trips']} breaker trips"
+    )
+    return 0 if violations == 0 else 1
+
+
 def cmd_verify(args: argparse.Namespace) -> int:
     """``repro verify``: check a scheme against the paper's definitions."""
     from repro.labeling import ForbiddenSetLabeling, LabelingOptions
@@ -285,6 +348,24 @@ def build_parser() -> argparse.ArgumentParser:
                          help="per-link message-drop probability")
     p_chaos.add_argument("-e", "--epsilon", type=float, default=1.0)
     p_chaos.set_defaults(func=cmd_chaos)
+
+    p_serve = sub.add_parser(
+        "serve-chaos",
+        help="run shard-fault schedules against the label-serving runtime",
+    )
+    p_serve.add_argument(
+        "graph", nargs="?", default=None,
+        help="graph spec (omit to run the standard service matrix)",
+    )
+    p_serve.add_argument("--schedules", type=int, default=5)
+    p_serve.add_argument("--events", type=int, default=60)
+    p_serve.add_argument("--seed", type=int, default=0)
+    p_serve.add_argument("--shards", type=int, default=4)
+    p_serve.add_argument("--replication", type=int, default=2)
+    p_serve.add_argument("--no-hedging", action="store_true",
+                         help="disable hedged reads to replicas")
+    p_serve.add_argument("-e", "--epsilon", type=float, default=1.0)
+    p_serve.set_defaults(func=cmd_serve_chaos)
 
     p_verify = sub.add_parser(
         "verify", help="check a scheme against the paper's definitions"

@@ -15,6 +15,7 @@ from repro.labeling.decoder import (
     QueryResult,
     build_sketch_graph,
     decode_distance,
+    normalize_faults,
 )
 from repro.labeling.encoding import decode_label, encode_label, encoded_bit_length
 from repro.labeling.weighted import WeightedForbiddenSetLabeling
@@ -36,4 +37,5 @@ __all__ = [
     "decode_label",
     "encode_label",
     "encoded_bit_length",
+    "normalize_faults",
 ]

@@ -84,6 +84,37 @@ class _ProtectedBalls:
         return result
 
 
+def normalize_faults(
+    vertex_faults,
+    edge_faults,
+) -> tuple[tuple[int, ...], tuple[tuple[int, int], ...]]:
+    """Canonicalize raw fault ids before labels are fetched.
+
+    Duplicate vertex faults collapse to one entry (first-seen order is
+    kept) and the two orientations of an edge fault — ``(a, b)`` and
+    ``(b, a)`` — collapse to one ``(min, max)`` entry, so every caller
+    (oracle, database, serving tier) builds the same
+    :class:`FaultSet` and fetches each label at most once per role.
+    A self-loop edge fault is rejected: no such edge can exist.
+    """
+    seen_v: set[int] = set()
+    vertices: list[int] = []
+    for v in vertex_faults:
+        if v not in seen_v:
+            seen_v.add(v)
+            vertices.append(v)
+    seen_e: set[tuple[int, int]] = set()
+    edges: list[tuple[int, int]] = []
+    for a, b in edge_faults:
+        if a == b:
+            raise QueryError(f"forbidden edge ({a}, {b}) is a self-loop")
+        key = (min(a, b), max(a, b))
+        if key not in seen_e:
+            seen_e.add(key)
+            edges.append(key)
+    return tuple(vertices), tuple(edges)
+
+
 @dataclass
 class FaultSet:
     """The forbidden set of a query, given as labels (the oracle model).

@@ -17,7 +17,12 @@ from typing import Iterable, Sequence
 from repro.exceptions import QueryError
 from repro.graphs.graph import Graph
 from repro.labeling.construction import LabelBuilder, LabelingOptions
-from repro.labeling.decoder import FaultSet, QueryResult, decode_distance
+from repro.labeling.decoder import (
+    FaultSet,
+    QueryResult,
+    decode_distance,
+    normalize_faults,
+)
 from repro.labeling.label import VertexLabel
 
 
@@ -82,7 +87,12 @@ class ForbiddenSetLabeling:
         vertex_faults: Iterable[int] = (),
         edge_faults: Iterable[tuple[int, int]] = (),
     ) -> FaultSet:
-        """Package raw fault ids into a :class:`FaultSet` of labels."""
+        """Package raw fault ids into a :class:`FaultSet` of labels.
+
+        Inputs are deduplicated first: repeated vertices and both
+        orientations of the same edge collapse to one entry.
+        """
+        vertex_faults, edge_faults = normalize_faults(vertex_faults, edge_faults)
         for a, b in edge_faults:
             if not self._graph.has_edge(a, b):
                 raise QueryError(f"forbidden edge ({a}, {b}) is not in the graph")

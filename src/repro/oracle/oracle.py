@@ -18,7 +18,12 @@ from typing import Iterable
 from repro.exceptions import QueryError
 from repro.graphs.graph import Graph
 from repro.labeling.construction import LabelingOptions
-from repro.labeling.decoder import FaultSet, QueryResult, decode_distance
+from repro.labeling.decoder import (
+    FaultSet,
+    QueryResult,
+    decode_distance,
+    normalize_faults,
+)
 from repro.labeling.encoding import decode_label, encode_label
 from repro.labeling.scheme import ForbiddenSetLabeling
 
@@ -52,15 +57,30 @@ class ForbiddenSetDistanceOracle:
         vertex_faults: Iterable[int] = (),
         edge_faults: Iterable[tuple[int, int]] = (),
     ) -> QueryResult:
-        """``(1+ε)``-approximate ``d_{G\\F}(s, t)`` from the stored table."""
+        """``(1+ε)``-approximate ``d_{G\\F}(s, t)`` from the stored table.
+
+        Each serialized label is decoded at most once per query: fault
+        inputs are deduplicated up front and a per-query memo covers the
+        remaining overlaps (shared edge-fault endpoints, ``s``/``t``
+        also named as faults).
+        """
+        vertex_faults, edge_faults = normalize_faults(vertex_faults, edge_faults)
         for a, b in edge_faults:
-            if (min(a, b), max(a, b)) not in self._edge_set:
+            if (a, b) not in self._edge_set:
                 raise QueryError(f"forbidden edge ({a}, {b}) is not in the graph")
+        memo: dict[int, object] = {}
+
+        def load(vertex: int):
+            label = memo.get(vertex)
+            if label is None:
+                label = memo[vertex] = self._load(vertex)
+            return label
+
         faults = FaultSet(
-            vertex_labels=[self._load(f) for f in vertex_faults],
-            edge_labels=[(self._load(a), self._load(b)) for a, b in edge_faults],
+            vertex_labels=[load(f) for f in vertex_faults],
+            edge_labels=[(load(a), load(b)) for a, b in edge_faults],
         )
-        return decode_distance(self._load(s), self._load(t), faults)
+        return decode_distance(load(s), load(t), faults)
 
     def size_bits(self) -> int:
         """Total storage of the oracle in bits (n encoded labels)."""

@@ -42,7 +42,12 @@ import zlib
 from typing import BinaryIO, Iterable
 
 from repro.exceptions import EncodingError, LabelCorruptionError, QueryError
-from repro.labeling.decoder import FaultSet, QueryResult, decode_distance
+from repro.labeling.decoder import (
+    FaultSet,
+    QueryResult,
+    decode_distance,
+    normalize_faults,
+)
 from repro.labeling.encoding import decode_label, encode_label
 
 _MAGIC = b"FSDL"
@@ -263,6 +268,21 @@ class LabelDatabase:
         """Number of stored labels."""
         return len(self._table)
 
+    def encoded(self, vertex: int) -> bytes:
+        """The raw stored bytes of one label, *only* if trustworthy.
+
+        Raises :class:`QueryError` for an out-of-range vertex and
+        :class:`LabelCorruptionError` for a label quarantined by a
+        ``strict=False`` load — quarantined bytes must never escape as
+        if they were servable data.
+        """
+        if not 0 <= vertex < len(self._table):
+            raise QueryError(f"vertex {vertex} out of range")
+        reason = self._quarantined.get(vertex)
+        if reason is not None:
+            raise LabelCorruptionError(f"label {vertex} is quarantined: {reason}")
+        return self._table[vertex]
+
     def label(self, vertex: int):
         """Decode one stored label.
 
@@ -291,12 +311,26 @@ class LabelDatabase:
         vertex_faults: Iterable[int] = (),
         edge_faults: Iterable[tuple[int, int]] = (),
     ) -> QueryResult:
-        """Forbidden-set distance query served from the stored bytes."""
+        """Forbidden-set distance query served from the stored bytes.
+
+        Fault inputs are deduplicated (repeated vertices, both
+        orientations of an edge) and each stored label is decoded at
+        most once per query.
+        """
+        vertex_faults, edge_faults = normalize_faults(vertex_faults, edge_faults)
+        memo: dict[int, object] = {}
+
+        def load(vertex: int):
+            label = memo.get(vertex)
+            if label is None:
+                label = memo[vertex] = self.label(vertex)
+            return label
+
         faults = FaultSet(
-            vertex_labels=[self.label(f) for f in vertex_faults],
-            edge_labels=[(self.label(a), self.label(b)) for a, b in edge_faults],
+            vertex_labels=[load(f) for f in vertex_faults],
+            edge_labels=[(load(a), load(b)) for a, b in edge_faults],
         )
-        return decode_distance(self.label(s), self.label(t), faults)
+        return decode_distance(load(s), load(t), faults)
 
     def connectivity(
         self,

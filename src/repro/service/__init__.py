@@ -1,0 +1,59 @@
+"""Resilient sharded label-serving runtime.
+
+The paper's oracle — "a table T storing the label of each vertex" —
+deployed as a serving tier that keeps answering correctly when the
+table itself is slow, flaky or partially down:
+
+* :mod:`repro.service.store` — :class:`ShardedLabelStore`: labels
+  partitioned across shards with replication, CRC-verified records,
+  and injectable shard faults (down / slow / flaky / corrupt);
+* :mod:`repro.service.client` — :class:`ResilientLabelClient`:
+  per-request deadline budgets, bounded retries with exponential
+  backoff and seeded jitter, per-shard circuit breakers with half-open
+  probing, hedged reads and replica failover;
+* :mod:`repro.service.frontend` — :class:`QueryService`: forbidden-set
+  distance queries that fetch only the labels they need and return
+  **exact or explicitly degraded** answers, never silently wrong ones;
+* :mod:`repro.service.clock` — the shared virtual clock every latency,
+  backoff and cooldown is measured against (deterministic, no sleeping).
+"""
+
+from repro.service.clock import VirtualClock
+from repro.service.client import (
+    BreakerPolicy,
+    CircuitBreaker,
+    ClientMetrics,
+    FetchOutcome,
+    ResilientLabelClient,
+    RetryPolicy,
+)
+from repro.service.frontend import (
+    MissingLabel,
+    QueryOutcome,
+    QueryService,
+    ServiceMetrics,
+)
+from repro.service.store import (
+    SHARD_EVENT_KINDS,
+    FetchResult,
+    ShardHealth,
+    ShardedLabelStore,
+)
+
+__all__ = [
+    "BreakerPolicy",
+    "CircuitBreaker",
+    "ClientMetrics",
+    "FetchOutcome",
+    "FetchResult",
+    "MissingLabel",
+    "QueryOutcome",
+    "QueryService",
+    "ResilientLabelClient",
+    "RetryPolicy",
+    "SHARD_EVENT_KINDS",
+    "ServiceMetrics",
+    "ShardHealth",
+    "ShardedLabelStore",
+    "VirtualClock",
+]

@@ -1,0 +1,34 @@
+"""Virtual time for the serving tier.
+
+Every latency in the service layer — shard response times, retry
+backoffs, hedging delays, circuit-breaker cooldowns, deadline budgets —
+is measured against one shared :class:`VirtualClock` in simulated
+milliseconds.  Nothing sleeps: advancing the clock *is* the passage of
+time, which keeps every run (and every chaos schedule, and every
+latency percentile in the benchmarks) deterministic and fast.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import QueryError
+
+
+class VirtualClock:
+    """A monotonically advancing simulated clock (milliseconds)."""
+
+    __slots__ = ("_now",)
+
+    def __init__(self, start_ms: float = 0.0) -> None:
+        self._now = float(start_ms)
+
+    @property
+    def now(self) -> float:
+        """Current virtual time in milliseconds."""
+        return self._now
+
+    def advance(self, delta_ms: float) -> float:
+        """Move time forward; returns the new time.  Never backwards."""
+        if delta_ms < 0:
+            raise QueryError(f"cannot advance the clock by {delta_ms} ms")
+        self._now += delta_ms
+        return self._now

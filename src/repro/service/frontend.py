@@ -1,0 +1,311 @@
+"""Query frontend: forbidden-set answers that degrade, never lie.
+
+:class:`QueryService` answers ``d_{G\\F}(s, t)`` queries by fetching
+*only* the labels the query needs — ``s``, ``t`` and each fault —
+through a :class:`~repro.service.client.ResilientLabelClient`, then
+running the paper's label-only decoder.  The availability contract
+mirrors the storage tier's integrity contract from PR 1:
+
+**error or explicitly degraded answer, never silently wrong.**
+
+Concretely, every answer is a :class:`QueryOutcome`:
+
+* ``status == "exact"`` — every needed label was fetched and decoded;
+  ``distance`` carries the usual ``(1+ε)`` guarantee.
+* ``status == "degraded"`` — some label could not be fetched within the
+  deadline budget.  ``distance`` is ``None`` (conservative "unknown,
+  retry later"); what *is* known is stated explicitly:
+
+  - if only fault labels are missing, the decoder runs on the available
+    subset ``F' ⊆ F`` and ``lower_bound = d̂(F') / stretch`` is a
+    certified lower bound on the true ``d_{G\\F}(s, t)`` (removing
+    faults only shortens distances, and ``d̂(F') ≤ stretch·d_{G\\F'}``);
+    an *infinite* lower bound is a certain verdict — if ``s`` and ``t``
+    are separated under fewer faults, they are separated under all of
+    ``F``;
+  - if an endpoint label is missing, nothing can be certified:
+    ``lower_bound = 0``.
+
+A query never fabricates a distance from partial data, and a recovered
+shard restores exact ``(1+ε)`` answers with no restart or rebuild.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.exceptions import QueryError
+from repro.labeling.decoder import (
+    FaultSet,
+    decode_distance,
+    normalize_faults,
+)
+from repro.labeling.encoding import decode_label
+from repro.service.client import ResilientLabelClient
+from repro.service.clock import VirtualClock
+from repro.service.store import ShardedLabelStore
+
+
+@dataclass(frozen=True)
+class MissingLabel:
+    """One label the client could not deliver for a query."""
+
+    vertex: int
+    role: str  # "endpoint" | "vertex_fault" | "edge_fault"
+    error: str
+
+    def __str__(self) -> str:
+        return f"vertex {self.vertex} ({self.role}): {self.error}"
+
+
+@dataclass(frozen=True)
+class QueryOutcome:
+    """One answer of the serving tier, with its honesty flags.
+
+    ``distance`` is set only for ``status == "exact"``; degraded
+    answers state what they *can* certify via ``lower_bound`` and list
+    every label that could not be fetched in ``missing``.
+    """
+
+    s: int
+    t: int
+    status: str  # "exact" | "degraded"
+    distance: float | None
+    lower_bound: float
+    reason: str | None
+    missing: tuple[MissingLabel, ...]
+    retry_suggested: bool
+    latency_ms: float
+    attempts: int
+    retries: int
+    hedges: int
+
+    @property
+    def exact(self) -> bool:
+        """True when every needed label was fetched and decoded."""
+        return self.status == "exact"
+
+    @property
+    def degraded(self) -> bool:
+        """True when the answer is explicitly partial (labels missing)."""
+        return self.status == "degraded"
+
+
+@dataclass
+class ServiceMetrics:
+    """Frontend-level counters (the client keeps the fetch-level ones)."""
+
+    queries: int = 0
+    exact_answers: int = 0
+    degraded_answers: int = 0
+    decode_failures: int = 0
+    latencies_ms: list[float] = field(default_factory=list)
+
+    @property
+    def degraded_rate(self) -> float:
+        """Fraction of answered queries that were degraded."""
+        return self.degraded_answers / self.queries if self.queries else 0.0
+
+
+class QueryService:
+    """Forbidden-set distance queries over a sharded label store."""
+
+    def __init__(
+        self,
+        store: ShardedLabelStore,
+        stretch_bound: float,
+        client: ResilientLabelClient | None = None,
+        default_deadline_ms: float = 120.0,
+        **client_kwargs,
+    ) -> None:
+        if stretch_bound < 1.0:
+            raise QueryError(f"stretch bound {stretch_bound} below 1")
+        self._store = store
+        self.stretch_bound = stretch_bound
+        self.client = client or ResilientLabelClient(
+            store, default_deadline_ms=default_deadline_ms, **client_kwargs
+        )
+        self.default_deadline_ms = default_deadline_ms
+        self.metrics = ServiceMetrics()
+
+    # -- constructors -------------------------------------------------------
+
+    @classmethod
+    def from_oracle(
+        cls,
+        oracle,
+        num_shards: int = 4,
+        replication: int = 2,
+        store_seed=None,
+        **kwargs,
+    ) -> "QueryService":
+        """Serve the table of a :class:`ForbiddenSetDistanceOracle`."""
+        store = ShardedLabelStore.from_oracle(
+            oracle, num_shards=num_shards, replication=replication,
+            seed=store_seed,
+        )
+        return cls(store, stretch_bound=1.0 + oracle._epsilon, **kwargs)
+
+    @classmethod
+    def from_scheme(
+        cls,
+        scheme,
+        num_shards: int = 4,
+        replication: int = 2,
+        store_seed=None,
+        **kwargs,
+    ) -> "QueryService":
+        """Encode and serve every label of a labeling scheme."""
+        store = ShardedLabelStore.from_scheme(
+            scheme, num_shards=num_shards, replication=replication,
+            seed=store_seed,
+        )
+        return cls(store, stretch_bound=scheme.stretch_bound(), **kwargs)
+
+    @classmethod
+    def from_database(
+        cls,
+        db,
+        num_shards: int = 4,
+        replication: int = 2,
+        store_seed=None,
+        **kwargs,
+    ) -> "QueryService":
+        """Serve a loaded ``.fsdl`` database (quarantine-aware)."""
+        store = ShardedLabelStore.from_database(
+            db, num_shards=num_shards, replication=replication,
+            seed=store_seed,
+        )
+        return cls(store, stretch_bound=1.0 + db.epsilon, **kwargs)
+
+    @property
+    def store(self) -> ShardedLabelStore:
+        """The sharded store the service reads from."""
+        return self._store
+
+    @property
+    def clock(self) -> VirtualClock:
+        """The client's virtual clock (shared by every latency)."""
+        return self.client.clock
+
+    # -- querying -----------------------------------------------------------
+
+    def query(
+        self,
+        s: int,
+        t: int,
+        vertex_faults=(),
+        edge_faults=(),
+        deadline_ms: float | None = None,
+    ) -> QueryOutcome:
+        """Answer one query within a virtual-time deadline budget."""
+        metrics = self.metrics
+        start = self.clock.now
+        vertex_faults, edge_faults = normalize_faults(
+            vertex_faults, edge_faults
+        )
+        if s in vertex_faults or t in vertex_faults:
+            raise QueryError("query endpoint is inside the forbidden set")
+        metrics.queries += 1
+        budget = (
+            self.default_deadline_ms if deadline_ms is None else deadline_ms
+        )
+        deadline = start + budget
+
+        # one fetch+decode per unique vertex, whatever roles it plays
+        roles: dict[int, str] = {}
+        for v in (s, t):
+            roles[v] = "endpoint"
+        for f in vertex_faults:
+            roles.setdefault(f, "vertex_fault")
+        for a, b in edge_faults:
+            roles.setdefault(a, "edge_fault")
+            roles.setdefault(b, "edge_fault")
+
+        labels: dict[int, object] = {}
+        missing: list[MissingLabel] = []
+        attempts = retries = hedges = 0
+        for vertex, role in roles.items():
+            remaining = deadline - self.clock.now
+            if remaining <= 0:
+                missing.append(MissingLabel(vertex, role, "deadline"))
+                continue
+            outcome = self.client.fetch_label(vertex, remaining)
+            attempts += outcome.attempts
+            retries += outcome.retries
+            hedges += outcome.hedges
+            if not outcome.ok:
+                missing.append(MissingLabel(vertex, role, outcome.error))
+                continue
+            try:
+                labels[vertex] = decode_label(outcome.data)
+            except Exception as exc:
+                # CRC passed but the bytes do not decode: surface it as
+                # a fetch failure, never as a guessed label
+                metrics.decode_failures += 1
+                missing.append(
+                    MissingLabel(vertex, role, f"undecodable: {exc!r}")
+                )
+
+        if s not in labels or t not in labels:
+            return self._record(QueryOutcome(
+                s=s, t=t, status="degraded", distance=None, lower_bound=0.0,
+                reason="endpoint_unavailable", missing=tuple(missing),
+                retry_suggested=True, latency_ms=self.clock.now - start,
+                attempts=attempts, retries=retries, hedges=hedges,
+            ))
+
+        available = FaultSet(
+            vertex_labels=[
+                labels[f] for f in vertex_faults if f in labels
+            ],
+            edge_labels=[
+                (labels[a], labels[b])
+                for a, b in edge_faults
+                if a in labels and b in labels
+            ],
+        )
+        result = decode_distance(labels[s], labels[t], available)
+        if not missing:
+            return self._record(QueryOutcome(
+                s=s, t=t, status="exact", distance=result.distance,
+                lower_bound=result.distance / self.stretch_bound,
+                reason=None, missing=(), retry_suggested=False,
+                latency_ms=self.clock.now - start, attempts=attempts,
+                retries=retries, hedges=hedges,
+            ))
+        # fault labels are missing: the subset answer certifies a lower
+        # bound (an infinite one is a certain "unreachable" verdict)
+        lower = (
+            math.inf if math.isinf(result.distance)
+            else result.distance / self.stretch_bound
+        )
+        return self._record(QueryOutcome(
+            s=s, t=t, status="degraded", distance=None, lower_bound=lower,
+            reason="fault_labels_unavailable", missing=tuple(missing),
+            retry_suggested=True, latency_ms=self.clock.now - start,
+            attempts=attempts, retries=retries, hedges=hedges,
+        ))
+
+    def _record(self, outcome: QueryOutcome) -> QueryOutcome:
+        if outcome.exact:
+            self.metrics.exact_answers += 1
+        else:
+            self.metrics.degraded_answers += 1
+        self.metrics.latencies_ms.append(outcome.latency_ms)
+        return outcome
+
+    # -- reporting ----------------------------------------------------------
+
+    def metrics_summary(self) -> dict[str, float]:
+        """Frontend + client counters in one flat dict (stable order)."""
+        summary: dict[str, float] = {
+            "queries": self.metrics.queries,
+            "exact_answers": self.metrics.exact_answers,
+            "degraded_answers": self.metrics.degraded_answers,
+            "degraded_rate": round(self.metrics.degraded_rate, 4),
+            "decode_failures": self.metrics.decode_failures,
+        }
+        summary.update(self.client.metrics.snapshot())
+        return summary

@@ -1,0 +1,316 @@
+"""Sharded label storage with injectable shard-level faults.
+
+The paper's oracle is "a table T storing the label of each vertex" —
+at serving scale that table is partitioned.  :class:`ShardedLabelStore`
+splits the encoded labels across ``num_shards`` shards with
+``replication``-way replica placement (vertex ``v`` lives on shards
+``(v % N, (v+1) % N, …)``), so the loss of any ``replication - 1``
+shards leaves every label reachable.
+
+Each stored record is the encoded label prefixed with its CRC32, and
+every fetch re-verifies the checksum — a shard whose bytes rot (see
+:meth:`ShardedLabelStore.corrupt`, which reuses the seeded mutators of
+:mod:`repro.chaos.corruption`) returns *fetch errors*, never garbage
+that could decode into a silently wrong distance.
+
+Fault injection is part of the store's contract: shards can be marked
+down, slow (higher response latency), or flaky (seeded probabilistic
+failures), and recovered back to pristine health.  All latencies are
+virtual milliseconds (see :mod:`repro.service.clock`); nothing sleeps.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from dataclasses import dataclass, replace
+from typing import Sequence
+
+from repro.exceptions import LabelCorruptionError, QueryError, ServiceError
+from repro.util.rng import RngLike, make_rng
+
+_U32 = struct.Struct("<I")
+
+#: shard fault kinds understood by :meth:`ShardedLabelStore.apply_event`
+SHARD_EVENT_KINDS = frozenset({
+    "shard_down",
+    "shard_recover",
+    "shard_slow",
+    "shard_flaky",
+    "shard_corrupt",
+})
+
+
+@dataclass(frozen=True)
+class FetchResult:
+    """Outcome of one shard fetch attempt (never raises; hedging needs
+    the latency of failures as much as of successes)."""
+
+    ok: bool
+    latency_ms: float
+    data: bytes | None = None
+    error: str | None = None
+
+
+@dataclass(frozen=True)
+class ShardHealth:
+    """Current injected state of one shard."""
+
+    down: bool = False
+    latency_ms: float = 1.0
+    flaky_probability: float = 0.0
+    corrupted_records: int = 0
+
+    @property
+    def healthy(self) -> bool:
+        """No outage, flakiness or corruption (slowness not counted)."""
+        return (
+            not self.down
+            and self.flaky_probability == 0.0
+            and self.corrupted_records == 0
+        )
+
+
+class ShardedLabelStore:
+    """Encoded labels partitioned across shards with replication."""
+
+    def __init__(
+        self,
+        encoded_labels: Sequence[bytes | None],
+        num_shards: int = 4,
+        replication: int = 2,
+        base_latency_ms: float = 1.0,
+        fail_fast_latency_ms: float = 0.2,
+        seed: RngLike = None,
+    ) -> None:
+        if not encoded_labels:
+            raise ServiceError("cannot shard an empty label table")
+        if num_shards < 1:
+            raise ServiceError(f"need at least one shard, got {num_shards}")
+        if not 1 <= replication <= num_shards:
+            raise ServiceError(
+                f"replication {replication} must be in [1, {num_shards}]"
+            )
+        self._num_vertices = len(encoded_labels)
+        self._num_shards = num_shards
+        self._replication = replication
+        self._base_latency_ms = base_latency_ms
+        self._fail_fast_latency_ms = fail_fast_latency_ms
+        self._rng = make_rng(seed)
+        # record = crc32(payload) + payload; None marks a label that was
+        # already untrustworthy at ingest (quarantined by the database)
+        self._records: list[dict[int, bytes | None]] = [
+            {} for _ in range(num_shards)
+        ]
+        for vertex, payload in enumerate(encoded_labels):
+            record = (
+                None if payload is None
+                else _U32.pack(zlib.crc32(payload)) + payload
+            )
+            for shard in self.replicas(vertex):
+                self._records[shard][vertex] = record
+        self._pristine = [dict(shard) for shard in self._records]
+        self._health = [
+            ShardHealth(latency_ms=base_latency_ms) for _ in range(num_shards)
+        ]
+
+    # -- construction -------------------------------------------------------
+
+    @classmethod
+    def from_oracle(cls, oracle, **kwargs) -> "ShardedLabelStore":
+        """Shard the in-memory table of a :class:`ForbiddenSetDistanceOracle`."""
+        return cls(list(oracle._table), **kwargs)
+
+    @classmethod
+    def from_scheme(cls, scheme, **kwargs) -> "ShardedLabelStore":
+        """Encode and shard every label of a labeling scheme."""
+        from repro.labeling.encoding import encode_label
+
+        graph = scheme._graph
+        return cls(
+            [encode_label(scheme.label(v)) for v in graph.vertices()], **kwargs
+        )
+
+    @classmethod
+    def from_database(cls, db, **kwargs) -> "ShardedLabelStore":
+        """Shard a loaded ``.fsdl`` :class:`LabelDatabase`.
+
+        Labels quarantined by a ``strict=False`` load are ingested as
+        *poisoned* records: every fetch of them fails loudly, so the
+        serving tier degrades instead of decoding garbage.
+        """
+        encoded: list[bytes | None] = []
+        for vertex in range(db.num_vertices):
+            try:
+                encoded.append(db.encoded(vertex))
+            except LabelCorruptionError:
+                encoded.append(None)
+        return cls(encoded, **kwargs)
+
+    # -- topology -----------------------------------------------------------
+
+    @property
+    def num_shards(self) -> int:
+        """How many shards the table is partitioned across."""
+        return self._num_shards
+
+    @property
+    def num_vertices(self) -> int:
+        """How many labels the store serves."""
+        return self._num_vertices
+
+    @property
+    def replication(self) -> int:
+        """How many shards hold a copy of each label."""
+        return self._replication
+
+    @property
+    def base_latency_ms(self) -> float:
+        """The healthy per-fetch virtual latency."""
+        return self._base_latency_ms
+
+    def replicas(self, vertex: int) -> tuple[int, ...]:
+        """Ordered shard ids holding ``vertex`` (primary first)."""
+        if not 0 <= vertex < self._num_vertices:
+            raise QueryError(f"vertex {vertex} out of range")
+        return tuple(
+            (vertex + j) % self._num_shards for j in range(self._replication)
+        )
+
+    def health(self, shard: int) -> ShardHealth:
+        """The current injected state of ``shard``."""
+        self._check_shard(shard)
+        return self._health[shard]
+
+    def all_healthy(self) -> bool:
+        """True when no shard carries any injected fault."""
+        return all(h.healthy for h in self._health)
+
+    def _check_shard(self, shard: int) -> None:
+        if not 0 <= shard < self._num_shards:
+            raise QueryError(f"shard {shard} out of range")
+
+    # -- serving ------------------------------------------------------------
+
+    def fetch(self, shard: int, vertex: int) -> FetchResult:
+        """One fetch attempt of ``vertex``'s record from ``shard``.
+
+        Returns a :class:`FetchResult` carrying the virtual latency the
+        attempt took; failures are results, not exceptions, because the
+        client needs failure latencies for hedging and failover math.
+        """
+        self._check_shard(shard)
+        health = self._health[shard]
+        if health.down:
+            # connection refused: fails fast, does not burn the deadline
+            return FetchResult(
+                ok=False, latency_ms=self._fail_fast_latency_ms, error="down"
+            )
+        latency = health.latency_ms * (0.85 + 0.3 * self._rng.random())
+        if health.flaky_probability and (
+            self._rng.random() < health.flaky_probability
+        ):
+            return FetchResult(ok=False, latency_ms=latency, error="flaky")
+        records = self._records[shard]
+        if vertex not in records:
+            raise QueryError(
+                f"shard {shard} does not hold vertex {vertex} "
+                f"(replicas: {self.replicas(vertex)})"
+            )
+        record = records[vertex]
+        if record is None:
+            return FetchResult(ok=False, latency_ms=latency, error="quarantined")
+        if len(record) < 5:
+            return FetchResult(ok=False, latency_ms=latency, error="corrupt")
+        stored_crc = _U32.unpack(record[:4])[0]
+        payload = record[4:]
+        if zlib.crc32(payload) != stored_crc:
+            return FetchResult(ok=False, latency_ms=latency, error="corrupt")
+        return FetchResult(ok=True, latency_ms=latency, data=payload)
+
+    # -- fault injection ----------------------------------------------------
+
+    def set_down(self, shard: int) -> None:
+        """Take a shard offline (fetches fail fast)."""
+        self._check_shard(shard)
+        self._health[shard] = replace(self._health[shard], down=True)
+
+    def set_slow(self, shard: int, latency_ms: float) -> None:
+        """Degrade a shard's response latency."""
+        self._check_shard(shard)
+        if latency_ms <= 0:
+            raise QueryError(f"latency must be positive, got {latency_ms}")
+        self._health[shard] = replace(
+            self._health[shard], latency_ms=latency_ms
+        )
+
+    def set_flaky(self, shard: int, probability: float) -> None:
+        """Make a shard fail each fetch with the given probability."""
+        self._check_shard(shard)
+        if not 0.0 <= probability <= 1.0:
+            raise QueryError(
+                f"flaky probability must be in [0, 1], got {probability}"
+            )
+        self._health[shard] = replace(
+            self._health[shard], flaky_probability=probability
+        )
+
+    def corrupt(
+        self, shard: int, fraction: float = 0.5, rng: RngLike = None
+    ) -> int:
+        """Corrupt a seeded sample of the shard's records in place.
+
+        Reuses the mutation kinds of :mod:`repro.chaos.corruption`
+        (bit flips, overwritten bytes, truncation, appended garbage), so
+        the damage is the realistic storage kind.  The per-record CRC
+        catches it at fetch time.  Returns the number of records hit.
+        """
+        from repro.chaos.corruption import mutate
+
+        self._check_shard(shard)
+        if not 0.0 < fraction <= 1.0:
+            raise QueryError(f"corrupt fraction must be in (0, 1], got {fraction}")
+        rng = make_rng(rng if rng is not None else self._rng)
+        records = self._records[shard]
+        candidates = sorted(v for v, rec in records.items() if rec is not None)
+        if not candidates:
+            return 0
+        count = max(1, int(len(candidates) * fraction))
+        hit = rng.sample(candidates, min(count, len(candidates)))
+        for vertex in hit:
+            # length_lie targets .fsdl framing, meaningless for a bare record
+            kind = rng.choice(("bit_flip", "byte_xor", "truncate", "extend"))
+            damaged, _ = mutate(records[vertex], rng=rng, kind=kind)
+            records[vertex] = damaged
+        self._health[shard] = replace(
+            self._health[shard],
+            corrupted_records=self._health[shard].corrupted_records + len(hit),
+        )
+        return len(hit)
+
+    def recover(self, shard: int) -> None:
+        """Restore a shard to pristine health and pristine bytes."""
+        self._check_shard(shard)
+        self._records[shard] = dict(self._pristine[shard])
+        self._health[shard] = ShardHealth(latency_ms=self._base_latency_ms)
+
+    def recover_all(self) -> None:
+        """Restore every shard."""
+        for shard in range(self._num_shards):
+            self.recover(shard)
+
+    def apply_event(self, event, rng: RngLike = None) -> None:
+        """Apply one shard-level chaos event (duck-typed on ``kind``)."""
+        kind = event.kind
+        if kind not in SHARD_EVENT_KINDS:
+            raise QueryError(f"not a shard event: {kind!r}")
+        if kind == "shard_down":
+            self.set_down(event.shard)
+        elif kind == "shard_recover":
+            self.recover(event.shard)
+        elif kind == "shard_slow":
+            self.set_slow(event.shard, event.latency_ms)
+        elif kind == "shard_flaky":
+            self.set_flaky(event.shard, event.probability)
+        elif kind == "shard_corrupt":
+            self.corrupt(event.shard, fraction=event.probability, rng=rng)

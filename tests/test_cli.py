@@ -129,3 +129,20 @@ class TestChaosCommands:
         ) == 0
         out = capsys.readouterr().out
         assert "0 invariant violation(s)" in out
+
+    def test_serve_chaos_command_on_spec(self, capsys):
+        assert main(
+            ["serve-chaos", "grid:4x4", "--schedules", "1", "--events", "20",
+             "--seed", "3"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "0 invariant violation(s)" in out
+        assert "breaker trips" in out
+
+    def test_serve_chaos_no_hedging(self, capsys):
+        assert main(
+            ["serve-chaos", "cycle:16", "--schedules", "1", "--events", "15",
+             "--shards", "3", "--replication", "1", "--no-hedging"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "0 hedges" in out

@@ -283,3 +283,26 @@ class TestAdversarialFaults:
         d_hat = scheme.query(0, 35, vertex_faults=wall).distance
         assert not math.isinf(d_true)
         assert d_true <= d_hat <= 2 * d_true
+
+
+class TestNormalizeFaults:
+    def test_dedup_preserves_first_seen_order(self):
+        from repro.labeling import normalize_faults
+
+        vertices, edges = normalize_faults(
+            [4, 2, 4, 7, 2], [(3, 1), (1, 3), (9, 5)]
+        )
+        assert vertices == (4, 2, 7)
+        assert edges == ((1, 3), (5, 9))
+
+    def test_empty_inputs(self):
+        from repro.labeling import normalize_faults
+
+        assert normalize_faults((), ()) == ((), ())
+
+    def test_self_loop_rejected(self):
+        from repro.exceptions import QueryError
+        from repro.labeling import normalize_faults
+
+        with pytest.raises(QueryError):
+            normalize_faults((), [(2, 2)])

@@ -142,3 +142,61 @@ class TestDynamicOracle:
             assert math.isinf(d_hat)
         else:
             assert d_true <= d_hat <= 2 * d_true
+
+
+class TestDecodeEconomy:
+    """Each serialized label is decoded at most once per query."""
+
+    def _counting_oracle(self, monkeypatch):
+        import repro.oracle.oracle as oracle_module
+
+        g = grid_graph(4, 4)
+        oracle = ForbiddenSetDistanceOracle(g, epsilon=1.0)
+        calls: list[int] = []
+        real = oracle_module.decode_label
+
+        def counting(data):
+            label = real(data)
+            calls.append(label.vertex)
+            return label
+
+        monkeypatch.setattr(oracle_module, "decode_label", counting)
+        return oracle, calls
+
+    def test_plain_query_decodes_each_endpoint_once(self, monkeypatch):
+        oracle, calls = self._counting_oracle(monkeypatch)
+        oracle.query(0, 15)
+        assert sorted(calls) == [0, 15]
+
+    def test_overlapping_fault_roles_decode_once(self, monkeypatch):
+        """Vertex 5 appears as vertex fault and twice via edge faults."""
+        oracle, calls = self._counting_oracle(monkeypatch)
+        oracle.query(
+            0, 15,
+            vertex_faults=[5, 5, 6],
+            edge_faults=[(5, 1), (1, 5), (5, 9)],
+        )
+        assert len(calls) == len(set(calls))
+        assert sorted(set(calls)) == [0, 1, 5, 6, 9, 15]
+
+    def test_duplicate_faults_answer_unchanged(self):
+        g = grid_graph(4, 4)
+        oracle = ForbiddenSetDistanceOracle(g, epsilon=1.0)
+        clean = oracle.query(0, 15, vertex_faults=[5, 6]).distance
+        noisy = oracle.query(
+            0, 15, vertex_faults=[5, 6, 5, 6, 6], edge_faults=[]
+        ).distance
+        assert clean == noisy
+
+    def test_both_edge_orientations_collapse(self):
+        g = grid_graph(4, 4)
+        oracle = ForbiddenSetDistanceOracle(g, epsilon=1.0)
+        a = oracle.query(0, 15, edge_faults=[(1, 5), (5, 1)]).distance
+        b = oracle.query(0, 15, edge_faults=[(1, 5)]).distance
+        assert a == b
+
+    def test_self_loop_edge_fault_rejected(self):
+        g = grid_graph(4, 4)
+        oracle = ForbiddenSetDistanceOracle(g, epsilon=1.0)
+        with pytest.raises(QueryError):
+            oracle.query(0, 15, edge_faults=[(5, 5)])

@@ -1,0 +1,179 @@
+"""Tests for the shard-level chaos DSL and the service chaos runner.
+
+The fast smoke subset runs in the default test run; the full acceptance
+battery (20 mixed shard-fault schedules) carries the ``chaos`` marker.
+"""
+
+import pytest
+
+from repro.chaos import (
+    ChaosEvent,
+    FaultPlan,
+    NETWORK_EVENT_KINDS,
+    SERVICE_EVENT_KINDS,
+    ServiceChaosRunner,
+    random_shard_plan,
+    run_service_plan,
+    service_standard_suite,
+)
+from repro.exceptions import QueryError
+from repro.graphs.generators import cycle_graph, grid_graph
+
+
+class TestShardEventDSL:
+    def test_kind_partition_is_disjoint_and_complete(self):
+        from repro.chaos import EVENT_KINDS
+
+        assert NETWORK_EVENT_KINDS & SERVICE_EVENT_KINDS == frozenset()
+        assert NETWORK_EVENT_KINDS | SERVICE_EVENT_KINDS == EVENT_KINDS
+
+    def test_shard_events_validated(self):
+        with pytest.raises(QueryError):
+            ChaosEvent(kind="shard_down")  # no shard
+        with pytest.raises(QueryError):
+            ChaosEvent(kind="shard_slow", shard=0)  # no latency
+        with pytest.raises(QueryError):
+            ChaosEvent(kind="shard_slow", shard=0, latency_ms=-1.0)
+        with pytest.raises(QueryError):
+            ChaosEvent(kind="shard_flaky", shard=0, probability=1.5)
+        with pytest.raises(QueryError):
+            ChaosEvent(kind="shard_corrupt", shard=0, probability=0.0)
+        with pytest.raises(QueryError):
+            ChaosEvent(kind="query", s=0)  # no t
+        with pytest.raises(QueryError):
+            ChaosEvent(kind="advance")  # no latency
+
+    def test_fluent_builders_chain(self):
+        plan = (
+            FaultPlan(seed=3)
+            .shard_down(0)
+            .shard_slow(1, latency_ms=80.0)
+            .shard_flaky(2, probability=0.5)
+            .shard_corrupt(3, fraction=0.25)
+            .query(0, 5, faults=(2,), fault_edges=[(4, 3)])
+            .advance(100.0)
+            .shard_recover(0)
+        )
+        kinds = [e.kind for e in plan]
+        assert kinds == [
+            "shard_down", "shard_slow", "shard_flaky", "shard_corrupt",
+            "query", "advance", "shard_recover",
+        ]
+        query = plan.events[4]
+        assert query.fault_edges == ((3, 4),)  # orientation normalized
+
+    def test_random_shard_plan_deterministic(self):
+        graph = grid_graph(4, 4)
+        a = random_shard_plan(graph, seed=11, num_events=30)
+        b = random_shard_plan(graph, seed=11, num_events=30)
+        assert a.events == b.events
+        assert a.seed == b.seed
+        c = random_shard_plan(graph, seed=12, num_events=30)
+        assert a.events != c.events
+
+    def test_random_shard_plan_events_valid(self):
+        graph = grid_graph(4, 4)
+        plan = random_shard_plan(graph, num_shards=3, seed=2, num_events=50)
+        down: set[int] = set()
+        for event in plan:
+            assert event.kind in SERVICE_EVENT_KINDS
+            if event.kind == "shard_down":
+                assert event.shard not in down  # no double-down
+                down.add(event.shard)
+            elif event.kind == "shard_recover":
+                down.discard(event.shard)
+            elif event.kind == "query":
+                assert event.s != event.t
+                assert event.s not in event.faults
+                assert event.t not in event.faults
+        assert not down  # stabilize tail healed everything
+
+    def test_stabilize_tail_ends_with_probes(self):
+        graph = grid_graph(4, 4)
+        plan = random_shard_plan(graph, seed=4, num_events=20)
+        tail = plan.events[-5:]
+        assert tail[0].kind == "advance"
+        assert all(e.kind == "query" for e in tail[1:])
+
+
+class TestServiceChaosRunner:
+    def test_scripted_outage_window(self):
+        """Down both replicas of a vertex, query, recover, query again."""
+        graph = grid_graph(4, 4)
+        plan = (
+            FaultPlan(seed=5, name="scripted outage")
+            .query(0, 15)
+            .shard_down(0)
+            .shard_down(1)
+            .query(0, 15)  # vertex 0 lives on shards {0, 1}: degraded
+            .shard_recover(0)
+            .shard_recover(1)
+            .advance(600.0)
+            .query(0, 15)
+        )
+        runner = ServiceChaosRunner(
+            graph, plan, num_shards=4, replication=2
+        )
+        report = runner.run()
+        assert report.ok, report.violations
+        assert report.exact_answers >= 2 + runner._final_probes
+        assert report.degraded_answers == 1
+        assert runner.service.store.all_healthy()
+
+    def test_smoke_schedules_zero_violations(self):
+        for seed in (1, 2):
+            graph = grid_graph(4, 4)
+            plan = random_shard_plan(
+                graph, num_shards=4, num_events=25, seed=seed
+            )
+            report = run_service_plan(graph, plan, replication=2)
+            assert report.ok, report.violations
+            assert report.queries > 0
+            # the metrics snapshot covers plan queries and probes alike
+            assert report.metrics["queries"] == report.queries
+
+    def test_unreplicated_outage_degrades_not_lies(self):
+        graph = cycle_graph(12)
+        plan = (
+            FaultPlan(seed=9, name="unreplicated outage")
+            .shard_down(0)
+            .query(0, 6)
+            .query(1, 7)
+            .shard_recover(0)
+            .advance(600.0)
+        )
+        report = run_service_plan(
+            graph, plan, num_shards=3, replication=1
+        )
+        assert report.ok, report.violations
+        assert report.degraded_answers >= 1
+
+    def test_runner_rejects_network_events(self):
+        graph = grid_graph(4, 4)
+        plan = FaultPlan(seed=1).fail_vertex(3)
+        report = run_service_plan(graph, plan)
+        assert not report.ok
+        assert "not a serving-tier event" in report.violations[0]
+
+    def test_report_summary_mentions_counts(self):
+        graph = grid_graph(4, 4)
+        plan = random_shard_plan(graph, seed=6, num_events=20)
+        report = run_service_plan(graph, plan)
+        text = report.summary()
+        assert "queries" in text and "breaker trips" in text
+
+
+@pytest.mark.chaos
+class TestServiceAcceptanceBattery:
+    """ISSUE acceptance: 20 seeded schedules, zero invariant violations."""
+
+    def test_standard_suite_clean(self):
+        reports = service_standard_suite(num_schedules=20, num_events=60,
+                                         seed=0)
+        assert len(reports) == 20
+        violations = [v for r in reports for v in r.violations]
+        assert violations == []
+        # the battery must actually exercise both outcomes and recovery
+        assert sum(r.degraded_answers for r in reports) > 0
+        assert sum(r.exact_answers for r in reports) > 0
+        assert all(r.queries > 0 for r in reports)
