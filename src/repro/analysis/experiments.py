@@ -47,6 +47,7 @@ from repro.labeling.failure_free import FailureFreeLabeling
 from repro.labeling.scheme import ForbiddenSetLabeling, LabelingOptions
 from repro.oracle.oracle import ForbiddenSetDistanceOracle
 from repro.routing.scheme import ForbiddenSetRouting
+from repro.util.rng import make_rng
 from repro.workloads.queries import (
     adversarial_queries,
     clustered_fault_queries,
@@ -273,9 +274,7 @@ def run_e5(quick: bool = True) -> list[Table]:
         columns=["n", "|F|", "ms/query", "sketch_vertices", "sketch_edges"],
         notes="time includes sketch assembly (the |F|^2 term) plus Dijkstra",
     )
-    import random as _random
-
-    rng = _random.Random(0)
+    rng = make_rng(0)
     n = graph.num_vertices
     for k in fault_counts:
         # pre-materialize the labels so timing isolates the decoder
@@ -311,14 +310,12 @@ def run_e6(quick: bool = True) -> list[Table]:
         "independent of graph size up to the log n level count)",
         columns=["family", "n", "ms/query", "sketch_vertices", "sketch_edges"],
     )
-    import random as _random
-
     from repro.labeling.decoder import decode_distance
 
     for n in sizes:
         graph = path_graph(n)
         scheme = ForbiddenSetLabeling(graph, epsilon=1.0)
-        rng = _random.Random(1)
+        rng = make_rng(1)
         queries = []
         for _ in range(5 if quick else 15):
             s, t = rng.sample(range(n), 2)
@@ -673,9 +670,7 @@ def run_e12(quick: bool = True) -> list[Table]:
         ff = FailureFreeLabeling(ff_graph, epsilon=eps)
         exact_ff = ExactRecomputeOracle(ff_graph)
         worst = 1.0
-        import random as _random
-
-        rng = _random.Random(8)
+        rng = make_rng(8)
         for _ in range(40):
             s, t = rng.sample(range(ff_graph.num_vertices), 2)
             d_true = exact_ff.query(s, t)
@@ -727,8 +722,6 @@ def run_e13(quick: bool = True) -> list[Table]:
         notes="low_level='unit' labels; endpoints sampled from opposite ends "
         "so distances exceed every unit-edge ball",
     )
-    import random as _random
-
     for length, circumference, num_queries in cases:
         graph = cylinder_graph(length, circumference)
         n = graph.num_vertices
@@ -737,7 +730,7 @@ def run_e13(quick: bool = True) -> list[Table]:
                 graph, epsilon=eps, options=LabelingOptions(low_level="unit")
             )
             exact = ExactRecomputeOracle(graph)
-            rng = _random.Random(13)
+            rng = make_rng(13)
             worst, total, finite, violations = 1.0, 0.0, 0, 0
             for _ in range(num_queries):
                 s = rng.randrange(0, 40 * circumference)
@@ -780,8 +773,6 @@ def run_e14(quick: bool = True) -> list[Table]:
     port (module :mod:`repro.labeling.weighted`) guarantees the lower
     bound unconditionally and a ``1 + ε + W_max/2^{c+1}`` upper bound.
     """
-    import random as _random
-
     from repro.graphs.generators import grid_graph as _grid
     from repro.graphs.weighted import WeightedGraph, weighted_distances_avoiding
     from repro.labeling.weighted import WeightedForbiddenSetLabeling
@@ -806,7 +797,7 @@ def run_e14(quick: bool = True) -> list[Table]:
     for max_weight in (1, 3, 8):
         for eps in (1.0,) if quick else (0.5, 1.0, 2.0):
             base = _grid(side, side)
-            rng = _random.Random(14)
+            rng = make_rng(14)
             graph = WeightedGraph(base.num_vertices)
             for u, v in base.edges():
                 graph.add_edge(u, v, rng.randint(1, max_weight))

@@ -11,6 +11,7 @@ Subcommands::
     python -m repro serve-chaos GRAPH_SPEC [--schedules 5] [--events 60] \
         [--shards 4] [--replication 2] [--no-hedging]
     python -m repro experiment E1 [E5 ...] [--full]
+    python -m repro lint [PATH ...] [--format text|json] [--select RPL001,...]
 
 ``GRAPH_SPEC`` selects a generator: ``path:64``, ``cycle:32``,
 ``grid:8x8``, ``grid:4x4x4``, ``torus:6x6``, ``tree:50`` (optionally
@@ -266,6 +267,34 @@ def cmd_serve_chaos(args: argparse.Namespace) -> int:
     return 0 if violations == 0 else 1
 
 
+def cmd_lint(args: argparse.Namespace) -> int:
+    """``repro lint``: run the contract-enforcing static-analysis pass."""
+    from repro.lint import lint_paths, render_json, render_text, rule_catalogue
+
+    if args.list_rules:
+        for rule in rule_catalogue():
+            print(f"{rule['id']}  [{rule['severity']}]  {rule['summary']}")
+            print(f"        contract: {rule['contract']}")
+        return 0
+    from pathlib import Path
+
+    for entry in args.paths:
+        if not Path(entry).exists():
+            raise ReproError(f"no such path: {entry}")
+    select = None
+    if args.select:
+        select = [part.strip() for part in args.select.split(",") if part.strip()]
+    try:
+        result = lint_paths(args.paths, select=select)
+    except ValueError as exc:  # e.g. --select with an unknown rule id
+        raise ReproError(str(exc)) from exc
+    if args.format == "json":
+        print(render_json(result))
+    else:
+        print(render_text(result))
+    return 0 if result.ok else 1
+
+
 def cmd_verify(args: argparse.Namespace) -> int:
     """``repro verify``: check a scheme against the paper's definitions."""
     from repro.labeling import ForbiddenSetLabeling, LabelingOptions
@@ -374,6 +403,27 @@ def build_parser() -> argparse.ArgumentParser:
     p_verify.add_argument("-e", "--epsilon", type=float, default=1.0)
     p_verify.add_argument("--low-level", choices=["full", "unit"], default="full")
     p_verify.set_defaults(func=cmd_verify)
+
+    p_lint = sub.add_parser(
+        "lint", help="run the contract-enforcing static-analysis pass"
+    )
+    p_lint.add_argument(
+        "paths", nargs="*", default=["src/repro", "tools"],
+        help="files/directories to lint (default: src/repro tools)",
+    )
+    p_lint.add_argument(
+        "--format", choices=["text", "json"], default="text",
+        help="report format (json is the stable CI interface)",
+    )
+    p_lint.add_argument(
+        "--select", default=None, metavar="RPL001,RPL002",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    p_lint.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalogue and exit",
+    )
+    p_lint.set_defaults(func=cmd_lint)
 
     p_exp = sub.add_parser("experiment", help="run experiments E1..E13")
     p_exp.add_argument("names", nargs="+")

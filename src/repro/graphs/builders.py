@@ -6,10 +6,13 @@ independent cross-check); the core library never imports it.
 
 from __future__ import annotations
 
-from typing import Iterable
+from typing import TYPE_CHECKING, Iterable
 
 from repro.exceptions import GraphError
 from repro.graphs.graph import Graph
+
+if TYPE_CHECKING:  # pragma: no cover - typing-only optional dependency
+    import networkx
 
 
 def from_edge_list(num_vertices: int, edges: Iterable[tuple[int, int]]) -> Graph:
@@ -43,7 +46,7 @@ def from_networkx(nx_graph) -> tuple[Graph, dict, list]:
     return g, node_to_id, nodes
 
 
-def to_networkx(graph: Graph):
+def to_networkx(graph: Graph) -> "networkx.Graph":
     """Convert to an (undirected, unweighted) ``networkx.Graph``."""
     try:
         import networkx as nx

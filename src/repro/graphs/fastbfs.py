@@ -12,6 +12,8 @@ equivalence — and the label builder uses it transparently.
 
 from __future__ import annotations
 
+from typing import Iterator
+
 from repro.graphs.graph import Graph
 
 
@@ -33,7 +35,9 @@ class BfsScratch:
             result[vertex] = dist
         return result
 
-    def items(self, source: int, radius: int | None = None):
+    def items(
+        self, source: int, radius: int | None = None
+    ) -> Iterator[tuple[int, int]]:
         """Iterate ``(vertex, distance)`` pairs of a bounded BFS.
 
         The iteration must be consumed before the next call on the same

@@ -38,6 +38,7 @@ from dataclasses import dataclass, field
 
 from repro.exceptions import QueryError
 from repro.graphs.traversal import dijkstra_with_paths
+from repro.labeling.params import lam_for_level
 from repro.labeling.label import VertexLabel
 
 
@@ -200,7 +201,7 @@ def build_sketch_graph(
         levels = sorted(label.levels)
         for i in levels:
             level_label = label.levels[i]
-            lam = 1 << (i + 1)
+            lam = lam_for_level(i)
             memberships = memberships_for(i, lam)
             owner = label.vertex
             owner_is_net = i == lowest  # at the lowest level N_0 = V(G)

@@ -22,7 +22,26 @@ import struct
 
 from repro.exceptions import EncodingError
 from repro.labeling.label import LevelLabel, VertexLabel
+from repro.labeling.params import lam_for_level
 from repro.util.bitio import BitReader, BitWriter
+
+#: everything a corrupt-but-CRC-valid bitstream can raise out of
+#: :func:`decode_label`: framing errors (``EncodingError``), bad index
+#: arithmetic (``IndexError``/``KeyError``/``ValueError``), and
+#: pathological gamma widths (``OverflowError``/``MemoryError``).
+#: Callers that must translate decode failures into
+#: :class:`~repro.exceptions.LabelCorruptionError` (or quarantine them)
+#: catch exactly this tuple — never a broad ``except Exception``, which
+#: lint rule RPL003 forbids.
+DECODE_ERRORS: tuple[type[Exception], ...] = (
+    EncodingError,
+    ValueError,
+    IndexError,
+    KeyError,
+    OverflowError,
+    MemoryError,
+    struct.error,
+)
 
 
 def encode_label(label: VertexLabel) -> bytes:
@@ -61,7 +80,7 @@ def encode_connectivity_label(label: VertexLabel) -> bytes:
     writer.write_gamma_nonneg(len(label.levels))
     for level in sorted(label.levels):
         level_label = label.levels[level]
-        lam = 1 << (level + 1)
+        lam = lam_for_level(level)
         points = sorted(level_label.points)
         writer.write_gamma_nonneg(level)
         writer.write_gamma_nonneg(len(points))
@@ -102,7 +121,7 @@ def decode_connectivity_label(data: bytes) -> VertexLabel:
     num_levels = reader.read_gamma_nonneg()
     for _ in range(num_levels):
         level = reader.read_gamma_nonneg()
-        lam = 1 << (level + 1)
+        lam = lam_for_level(level)
         num_points = reader.read_gamma_nonneg()
         points: dict[int, int] = {}
         order: list[int] = []

@@ -23,6 +23,7 @@ from dataclasses import dataclass, field
 from repro.exceptions import LabelingError
 from repro.graphs.graph import Graph
 from repro.graphs.traversal import bfs_distances
+from repro.labeling.params import lam_for_level
 from repro.nets.hierarchy import NetHierarchy
 
 
@@ -113,7 +114,7 @@ class FailureFreeLabeling:
     def _build_label(self, vertex: int) -> FailureFreeLabel:
         label = FailureFreeLabel(vertex=vertex, c=self.c, top_level=self.top_level)
         for i in self.levels():
-            radius = (1 << (i + 1)) - 1
+            radius = lam_for_level(i) - 1
             net = self._hierarchy.net(min(i - self.c, self._hierarchy.top_level))
             ball = bfs_distances(self._graph, vertex, radius=radius)
             label.balls[i] = {x: d for x, d in ball.items() if x in net}

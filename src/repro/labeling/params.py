@@ -29,6 +29,17 @@ def c_for_epsilon(epsilon: float) -> int:
     return max(math.ceil(math.log2(6.0 / epsilon)), 2)
 
 
+def lam_for_level(i: int) -> int:
+    """``λ_i = 2^{i+1}`` — virtual-edge length cap / protected-ball radius.
+
+    This is the *only* place the ``λ_i`` arithmetic may live (enforced
+    by lint rule RPL004): decoders and codecs that reconstruct ``λ_i``
+    from a transmitted level number must call this instead of repeating
+    the shift, so the schedule cannot drift between writer and reader.
+    """
+    return 1 << (i + 1)
+
+
 @dataclass(frozen=True)
 class ParamSchedule:
     """Radii schedule for one ``(ε, n)`` instance.
@@ -79,7 +90,7 @@ class ParamSchedule:
 
     def lam(self, i: int) -> int:
         """``λ_i = 2^{i+1}`` — virtual-edge length cap / protected-ball radius."""
-        return 1 << (i + 1)
+        return lam_for_level(i)
 
     def mu(self, i: int) -> int:
         """``μ_i = ρ_i + λ_i`` — fault-distance threshold."""

@@ -24,6 +24,7 @@ from repro.labeling.decoder import (
     normalize_faults,
 )
 from repro.labeling.label import VertexLabel
+from repro.labeling.params import ParamSchedule
 
 
 class ForbiddenSetLabeling:
@@ -53,7 +54,7 @@ class ForbiddenSetLabeling:
     # -- parameters ---------------------------------------------------------
 
     @property
-    def params(self):
+    def params(self) -> ParamSchedule:
         """The :class:`~repro.labeling.params.ParamSchedule` in force."""
         return self._builder.params
 

@@ -31,6 +31,7 @@ from repro.labeling.decoder import (
     _edge_is_safe,
 )
 from repro.labeling.label import VertexLabel
+from repro.labeling.params import lam_for_level
 
 
 class FaultScopedSession:
@@ -87,7 +88,7 @@ class FaultScopedSession:
         owner = label.vertex
         for i in sorted(label.levels):
             level_label = label.levels[i]
-            lam = 1 << (i + 1)
+            lam = lam_for_level(i)
             memberships = self._memberships(i, lam)
             owner_is_net = i == lowest
             for (x, y), weight in level_label.graph_edges.items():

@@ -42,7 +42,7 @@ from repro.graphs.weighted import (
 from repro.labeling.construction import LabelingOptions
 from repro.labeling.decoder import FaultSet, QueryResult, decode_distance
 from repro.labeling.label import LevelLabel, VertexLabel
-from repro.labeling.params import ParamSchedule, c_for_epsilon
+from repro.labeling.params import ParamSchedule, c_for_epsilon, lam_for_level
 from repro.nets.weighted_hierarchy import WeightedNetHierarchy
 
 
@@ -212,5 +212,5 @@ class WeightedForbiddenSetLabeling:
         per stride; strides at level ℓ have length ``2^ℓ ≥ 2^{c+1}``, so
         the relative overshoot is at most ``W_max / 2^{c+1}`` per stride.
         """
-        slack = self._graph.max_weight() / (1 << (self.params.c + 1))
-        return 1.0 + min(self.params.epsilon, 6.0 / (1 << self.params.c)) + slack
+        slack = self._graph.max_weight() / lam_for_level(self.params.c)
+        return self.params.stretch_bound() + slack

@@ -1,0 +1,62 @@
+"""Contract-enforcing static analysis (``repro lint``).
+
+PRs 1–2 established two contracts the dynamic test suite can only
+spot-check: **never silently wrong** (corruption must surface as
+``LabelCorruptionError`` or an explicitly degraded outcome) and
+**fully deterministic under a seed** (chaos schedules, ``VirtualClock``,
+seeded jitter).  This package enforces those contracts *statically, on
+every line*: an AST-based engine (:mod:`repro.lint.engine`) runs a
+first-class rule set (:mod:`repro.lint.rules`) encoding the repo's
+invariants:
+
+========  ==============================================================
+RPL001    unseeded randomness — ``random`` imported outside
+          ``repro.util.rng``
+RPL002    wall-clock reads — ``time.time()`` / ``datetime.now()``
+          instead of ``time.perf_counter`` or an injected
+          ``VirtualClock``
+RPL003    broad/bare ``except`` that can swallow
+          ``LabelCorruptionError`` without re-raise
+RPL004    paper-parameter drift — ``2**(i-c)``-style schedule
+          arithmetic outside :mod:`repro.labeling.params`
+RPL005    mutable default arguments
+RPL006    ``assert`` used for runtime validation in library code
+RPL007    unsorted set/dict iteration feeding serialization writers
+RPL008    missing return annotations on public API
+========  ==============================================================
+
+Findings can be suppressed per line with a justified comment::
+
+    value = eval(text)  # repro-lint: disable=RPL003 -- fixture needs it
+
+A suppression **must** carry a ``-- justification``; one without it is
+itself an error (RPL000).  Run the pass with ``repro lint [paths ...]``
+(text or ``--format json``); it exits non-zero on any finding, and CI's
+``static`` job gates every PR on a clean run over ``src/repro tools``.
+"""
+
+from repro.lint.engine import (
+    Finding,
+    LintEngine,
+    LintResult,
+    Rule,
+    SourceFile,
+    collect_files,
+    lint_paths,
+)
+from repro.lint.reporting import render_json, render_text
+from repro.lint.rules import ALL_RULES, rule_catalogue
+
+__all__ = [
+    "ALL_RULES",
+    "Finding",
+    "LintEngine",
+    "LintResult",
+    "Rule",
+    "SourceFile",
+    "collect_files",
+    "lint_paths",
+    "render_json",
+    "render_text",
+    "rule_catalogue",
+]

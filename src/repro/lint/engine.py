@@ -1,0 +1,333 @@
+"""The lint engine: parsed sources, suppressions, rule running.
+
+The engine is deliberately dependency-free (``ast`` + ``tokenize`` from
+the standard library) so the ``static`` CI job needs nothing beyond the
+package itself.  Design:
+
+* :class:`SourceFile` — one parsed file: source text, AST, and the
+  ``# repro-lint: disable=RPLxxx -- why`` suppression comments found by
+  tokenizing (comments inside string literals are *not* suppressions).
+* :class:`Rule` — base class; each rule yields :class:`Finding` objects
+  from one pass over the AST.  Rules are pure functions of the source,
+  so the engine's output is deterministic for a given tree.
+* :class:`LintEngine` — collects files (sorted, so report order never
+  depends on directory-walk order), runs every selected rule, applies
+  suppressions, and reports unjustified suppressions as RPL000.
+
+A file that does not parse yields a single RPL000 finding rather than
+crashing the whole run — the lint pass must degrade explicitly, never
+silently, same as the library it checks.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Iterator, Sequence
+
+#: id of the meta-rule: lint-infrastructure violations (unparseable
+#: file, malformed or unjustified suppression comment).
+META_RULE_ID = "RPL000"
+
+_SUPPRESS_RE = re.compile(
+    r"repro-lint:\s*disable=(?P<rules>RPL\d{3}(?:\s*,\s*RPL\d{3})*)"
+    r"(?:\s*--\s*(?P<why>\S.*))?"
+)
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    severity: str
+    message: str
+
+    def render(self) -> str:
+        """``path:line:col: RPLxxx message`` (the text-reporter line)."""
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+
+@dataclass(frozen=True)
+class Suppression:
+    """One ``# repro-lint: disable=...`` comment, already parsed.
+
+    ``target_line`` is the line whose findings it silences: the
+    comment's own line when it trails code, the following line when the
+    comment stands alone.
+    """
+
+    comment_line: int
+    target_line: int
+    rules: tuple[str, ...]
+    justification: str | None
+
+    @property
+    def justified(self) -> bool:
+        """True when the comment carries a ``-- reason`` clause."""
+        return bool(self.justification and self.justification.strip())
+
+
+class SourceFile:
+    """One parsed source file handed to every rule.
+
+    ``logical`` is the path rules use for *scoping* decisions (e.g.
+    RPL001 allows ``random`` only in ``util/rng.py``); it defaults to
+    the real path relative to the working directory but can be
+    overridden — fixture tests lint snippets *as if* they lived at a
+    library path.
+    """
+
+    def __init__(
+        self, text: str, path: str = "<string>", logical: str | None = None
+    ) -> None:
+        self.text = text
+        self.path = path
+        self.logical = (logical if logical is not None else path).replace("\\", "/")
+        self.tree = ast.parse(text, filename=path)
+        self.suppressions = self._collect_suppressions(text)
+
+    @classmethod
+    def from_path(cls, path: Path, logical: str | None = None) -> "SourceFile":
+        """Read and parse one file (raises ``SyntaxError`` if unparseable)."""
+        display = _display_path(path)
+        return cls(
+            path.read_text(encoding="utf-8"),
+            path=display,
+            logical=logical if logical is not None else display,
+        )
+
+    # -- scoping helpers used by the rules ---------------------------------
+
+    @property
+    def in_library(self) -> bool:
+        """True for library code (under ``src/repro``), not scripts/tools."""
+        return "src/repro/" in self.logical or self.logical.startswith("repro/")
+
+    def logical_endswith(self, *suffixes: str) -> bool:
+        """True when the scoping path ends with any of ``suffixes``."""
+        return self.logical.endswith(suffixes)
+
+    def logical_name_contains(self, *tokens: str) -> bool:
+        """True when the file's base name contains any of ``tokens``."""
+        name = self.logical.rsplit("/", 1)[-1]
+        return any(token in name for token in tokens)
+
+    # -- suppressions -------------------------------------------------------
+
+    @staticmethod
+    def _collect_suppressions(text: str) -> list[Suppression]:
+        suppressions: list[Suppression] = []
+        try:
+            tokens = list(tokenize.generate_tokens(io.StringIO(text).readline))
+        except (tokenize.TokenError, IndentationError):  # already parsed; be lenient
+            return suppressions
+        for token in tokens:
+            if token.type != tokenize.COMMENT or "repro-lint" not in token.string:
+                continue
+            match = _SUPPRESS_RE.search(token.string)
+            line = token.start[0]
+            standalone = token.line[: token.start[1]].strip() == ""
+            target = line + 1 if standalone else line
+            if match is None:
+                # malformed directive: keep it visible as an unjustified,
+                # rule-less suppression so the engine reports RPL000
+                suppressions.append(Suppression(line, target, (), None))
+                continue
+            rules = tuple(
+                part.strip() for part in match.group("rules").split(",")
+            )
+            suppressions.append(
+                Suppression(line, target, rules, match.group("why"))
+            )
+        return suppressions
+
+
+class Rule:
+    """Base class for lint rules.
+
+    Subclasses set ``rule_id`` (``RPLxxx``), ``severity``, a one-line
+    ``summary`` and the repo ``contract`` the rule protects, then
+    implement :meth:`check` yielding findings for one source file.
+    """
+
+    rule_id: str = "RPL???"
+    severity: str = "error"
+    summary: str = ""
+    contract: str = ""
+
+    def check(self, source: SourceFile) -> Iterator[Finding]:
+        """Yield every violation of this rule in ``source``."""
+        raise NotImplementedError
+
+    def finding(
+        self, source: SourceFile, node: ast.AST, message: str
+    ) -> Finding:
+        """Build a :class:`Finding` anchored at ``node``."""
+        return Finding(
+            path=source.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            rule=self.rule_id,
+            severity=self.severity,
+            message=message,
+        )
+
+
+@dataclass(frozen=True)
+class LintResult:
+    """Outcome of one engine run: findings plus scan statistics."""
+
+    findings: tuple[Finding, ...]
+    files_scanned: int
+
+    @property
+    def ok(self) -> bool:
+        """True when the run produced no findings at all."""
+        return not self.findings
+
+    def counts(self) -> dict[str, int]:
+        """Findings per rule id (sorted keys, deterministic)."""
+        totals: dict[str, int] = {}
+        for finding in self.findings:
+            totals[finding.rule] = totals.get(finding.rule, 0) + 1
+        return dict(sorted(totals.items()))
+
+
+class LintEngine:
+    """Runs a rule set over files, applying suppression comments."""
+
+    def __init__(
+        self,
+        rules: Sequence[Rule] | None = None,
+        select: Iterable[str] | None = None,
+    ) -> None:
+        if rules is None:
+            from repro.lint.rules import ALL_RULES
+
+            rules = [rule_cls() for rule_cls in ALL_RULES]
+        if select is not None:
+            wanted = set(select)
+            unknown = wanted - {rule.rule_id for rule in rules} - {META_RULE_ID}
+            if unknown:
+                raise ValueError(f"unknown rule ids: {sorted(unknown)}")
+            rules = [rule for rule in rules if rule.rule_id in wanted]
+        self.rules = list(rules)
+
+    # -- single sources -----------------------------------------------------
+
+    def check_source(
+        self, text: str, path: str = "<string>", logical: str | None = None
+    ) -> list[Finding]:
+        """Lint one in-memory source snippet."""
+        try:
+            source = SourceFile(text, path=path, logical=logical)
+        except SyntaxError as exc:
+            return [_parse_failure(path, exc)]
+        return self._check(source)
+
+    def check_file(self, path: Path, logical: str | None = None) -> list[Finding]:
+        """Lint one file on disk."""
+        try:
+            source = SourceFile.from_path(path, logical=logical)
+        except SyntaxError as exc:
+            return [_parse_failure(_display_path(path), exc)]
+        return self._check(source)
+
+    # -- trees --------------------------------------------------------------
+
+    def run(self, paths: Iterable[str | Path]) -> LintResult:
+        """Lint every ``.py`` file under ``paths`` (files or directories)."""
+        files = collect_files(paths)
+        findings: list[Finding] = []
+        for path in files:
+            findings.extend(self.check_file(path))
+        return LintResult(findings=tuple(sorted(findings)), files_scanned=len(files))
+
+    # -- internals ----------------------------------------------------------
+
+    def _check(self, source: SourceFile) -> list[Finding]:
+        findings: list[Finding] = []
+        for rule in self.rules:
+            findings.extend(rule.check(source))
+        return sorted(self._apply_suppressions(source, findings))
+
+    def _apply_suppressions(
+        self, source: SourceFile, findings: list[Finding]
+    ) -> list[Finding]:
+        silenced: dict[int, set[str]] = {}
+        kept: list[Finding] = []
+        for suppression in source.suppressions:
+            if suppression.justified:
+                silenced.setdefault(suppression.target_line, set()).update(
+                    suppression.rules
+                )
+            else:
+                kept.append(Finding(
+                    path=source.path,
+                    line=suppression.comment_line,
+                    col=1,
+                    rule=META_RULE_ID,
+                    severity="error",
+                    message=(
+                        "suppression without justification: write "
+                        "'# repro-lint: disable=RPLxxx -- <why this is safe>'"
+                    ),
+                ))
+        for finding in findings:
+            if finding.rule in silenced.get(finding.line, ()):
+                continue
+            kept.append(finding)
+        return kept
+
+
+def collect_files(paths: Iterable[str | Path]) -> list[Path]:
+    """Expand files/directories into a sorted list of ``.py`` files.
+
+    Hidden directories and ``__pycache__`` are skipped; sorting makes
+    the scan order (and therefore the report) deterministic.
+    """
+    files: set[Path] = set()
+    for entry in paths:
+        path = Path(entry)
+        if path.is_dir():
+            for candidate in path.rglob("*.py"):
+                parts = candidate.parts
+                if any(p == "__pycache__" or p.startswith(".") for p in parts):
+                    continue
+                files.add(candidate)
+        elif path.suffix == ".py":
+            files.add(path)
+    return sorted(files)
+
+
+def lint_paths(
+    paths: Iterable[str | Path], select: Iterable[str] | None = None
+) -> LintResult:
+    """Convenience wrapper: run the full rule set over ``paths``."""
+    return LintEngine(select=select).run(paths)
+
+
+def _display_path(path: Path) -> str:
+    try:
+        return path.resolve().relative_to(Path.cwd()).as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+def _parse_failure(path: str, exc: SyntaxError) -> Finding:
+    return Finding(
+        path=path,
+        line=exc.lineno or 1,
+        col=(exc.offset or 0) + 1 if exc.offset is not None else 1,
+        rule=META_RULE_ID,
+        severity="error",
+        message=f"file does not parse: {exc.msg}",
+    )

@@ -1,0 +1,68 @@
+"""Reporters for lint results: human text and machine JSON.
+
+The JSON document is the stable interface for CI tooling; its schema
+(version 1) is::
+
+    {
+      "version": 1,
+      "ok": bool,
+      "files_scanned": int,
+      "counts": {"RPLxxx": int, ...},
+      "findings": [
+        {"path": str, "line": int, "col": int,
+         "rule": str, "severity": str, "message": str},
+        ...
+      ]
+    }
+
+Findings are sorted by (path, line, col, rule) and keys are emitted in
+sorted order, so two runs over the same tree produce byte-identical
+reports — the lint pass honors the determinism contract it enforces.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.lint.engine import LintResult
+
+#: schema version of the JSON report.
+JSON_SCHEMA_VERSION = 1
+
+
+def render_text(result: LintResult) -> str:
+    """Human-readable report: one ``path:line:col`` line per finding."""
+    lines = [finding.render() for finding in result.findings]
+    counts = result.counts()
+    if counts:
+        per_rule = ", ".join(f"{rule}: {n}" for rule, n in counts.items())
+        lines.append("")
+        lines.append(
+            f"{len(result.findings)} finding(s) in {result.files_scanned} "
+            f"file(s) — {per_rule}"
+        )
+    else:
+        lines.append(f"OK: {result.files_scanned} file(s), no findings")
+    return "\n".join(lines)
+
+
+def render_json(result: LintResult) -> str:
+    """Machine-readable report (schema above, deterministic bytes)."""
+    document = {
+        "version": JSON_SCHEMA_VERSION,
+        "ok": result.ok,
+        "files_scanned": result.files_scanned,
+        "counts": result.counts(),
+        "findings": [
+            {
+                "path": finding.path,
+                "line": finding.line,
+                "col": finding.col,
+                "rule": finding.rule,
+                "severity": finding.severity,
+                "message": finding.message,
+            }
+            for finding in result.findings
+        ],
+    }
+    return json.dumps(document, indent=2, sort_keys=True)

@@ -1,0 +1,440 @@
+"""The rule set: this repo's contracts, enforced on every line.
+
+Each rule names the contract it protects (shown by ``repro lint
+--list-rules`` and in ``docs/lint.md``).  Scoping is by *logical path*
+(see :class:`repro.lint.engine.SourceFile`): e.g. RPL001 allows the
+``random`` module only inside ``repro/util/rng.py``, and RPL004 allows
+the ``2**(i-c)``-style schedule arithmetic only inside
+``repro/labeling/params.py`` — the single source of truth for the
+paper's ``ρ_i, λ_i, μ_i, r_i`` schedule (Section 2.1).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.engine import Finding, Rule, SourceFile
+
+
+def _terminal_name(node: ast.AST) -> str | None:
+    """The identifier a ``Name``/``Attribute`` node ultimately names."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+class UnseededRandomnessRule(Rule):
+    """RPL001: ``random`` may only be imported by ``repro.util.rng``.
+
+    Every stochastic code path must accept a seed or ``random.Random``
+    and route through :func:`repro.util.rng.make_rng`; a raw ``import
+    random`` bypasses the seed plumbing and breaks bit-for-bit
+    reproducibility of experiments and chaos schedules.
+    """
+
+    rule_id = "RPL001"
+    summary = "unseeded randomness: 'random' imported outside repro.util.rng"
+    contract = "fully deterministic under a seed"
+
+    def check(self, source: SourceFile) -> Iterator[Finding]:
+        """Flag ``import random`` / ``from random import ...``."""
+        if source.logical_endswith("util/rng.py"):
+            return
+        message = (
+            "the 'random' module bypasses the seed plumbing; route "
+            "randomness through repro.util.rng.make_rng"
+        )
+        for node in ast.walk(source.tree):
+            if isinstance(node, ast.Import):
+                if any(
+                    alias.name == "random" or alias.name.startswith("random.")
+                    for alias in node.names
+                ):
+                    yield self.finding(source, node, message)
+            elif isinstance(node, ast.ImportFrom):
+                if node.level == 0 and node.module == "random":
+                    yield self.finding(source, node, message)
+
+
+class WallClockRule(Rule):
+    """RPL002: no wall-clock reads; use ``perf_counter`` or a clock object.
+
+    Wall-clock time makes runs unreproducible and couples tests to the
+    host.  Elapsed measurement must use ``time.perf_counter`` (or
+    ``time.monotonic``); service-tier timing must go through an
+    injected :class:`repro.service.clock.VirtualClock`.
+    """
+
+    rule_id = "RPL002"
+    summary = "wall-clock read (time.time / datetime.now / ...)"
+    contract = "fully deterministic under a seed"
+
+    _WALL_CALLS = {
+        ("time", "time"),
+        ("time", "time_ns"),
+        ("time", "ctime"),
+        ("time", "localtime"),
+        ("time", "gmtime"),
+        ("datetime", "now"),
+        ("datetime", "utcnow"),
+        ("datetime", "today"),
+        ("date", "today"),
+    }
+    _WALL_IMPORTS = {"time", "time_ns", "ctime", "localtime", "gmtime"}
+
+    def check(self, source: SourceFile) -> Iterator[Finding]:
+        """Flag wall-clock call sites and ``from time import time``."""
+        for node in ast.walk(source.tree):
+            if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+                owner = _terminal_name(node.func.value)
+                if owner and (owner, node.func.attr) in self._WALL_CALLS:
+                    yield self.finding(
+                        source,
+                        node,
+                        f"wall-clock read {owner}.{node.func.attr}(); use "
+                        "time.perf_counter for elapsed time or an injected "
+                        "VirtualClock",
+                    )
+            elif isinstance(node, ast.ImportFrom):
+                if node.level == 0 and node.module == "time":
+                    for alias in node.names:
+                        if alias.name in self._WALL_IMPORTS:
+                            yield self.finding(
+                                source,
+                                node,
+                                f"import of wall-clock time.{alias.name}; use "
+                                "time.perf_counter or an injected VirtualClock",
+                            )
+
+
+class BroadExceptRule(Rule):
+    """RPL003: broad/bare ``except`` must re-raise.
+
+    A ``LabelCorruptionError`` swallowed by ``except Exception: pass``
+    is the definition of *silently wrong*.  Handlers must either catch
+    an explicit exception tuple or contain a ``raise`` (re-raise or
+    translation) so corruption provably surfaces.
+    """
+
+    rule_id = "RPL003"
+    summary = "broad/bare 'except' without re-raise can swallow corruption"
+    contract = "never silently wrong"
+
+    _BROAD = {"Exception", "BaseException"}
+
+    def check(self, source: SourceFile) -> Iterator[Finding]:
+        """Flag bare/broad handlers whose body never raises."""
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            broad = self._broad_name(node.type)
+            if broad is None:
+                continue
+            if any(isinstance(sub, ast.Raise) for sub in ast.walk(node)):
+                continue
+            yield self.finding(
+                source,
+                node,
+                f"'except {broad}' without re-raise can swallow "
+                "LabelCorruptionError; narrow to an explicit exception "
+                "tuple or re-raise",
+            )
+
+    def _broad_name(self, type_node: ast.AST | None) -> str | None:
+        if type_node is None:
+            return ""  # bare except
+        candidates = (
+            type_node.elts if isinstance(type_node, ast.Tuple) else [type_node]
+        )
+        for candidate in candidates:
+            name = _terminal_name(candidate)
+            if name in self._BROAD:
+                return name
+        return None
+
+
+class ParamDriftRule(Rule):
+    """RPL004: the paper's radius schedule lives in exactly one module.
+
+    Correctness (Claim 1, Lemma 2.5) hinges on the exact schedule
+    ``ρ_i = 2^{i-c}``, ``λ_i = 2^{i+1}``, ``μ_i = ρ_i + λ_i``,
+    ``r_i = μ_{i+1} + 2^i + ρ_{i+1}``.  A drifted copy (say
+    ``1 << (i + 2)``) in a decoder stays consistent on sampled tests
+    while breaking the guarantee, so shift/power expressions over level
+    variables are only allowed inside :mod:`repro.labeling.params` —
+    everywhere else call ``lam_for_level`` / ``ParamSchedule``.
+    """
+
+    rule_id = "RPL004"
+    summary = "paper-parameter schedule arithmetic outside labeling/params.py"
+    contract = "exact Section 2.1 parameter schedule"
+
+    _LEVEL_NAMES = {"i", "level", "lvl", "c", "top_level"}
+
+    def check(self, source: SourceFile) -> Iterator[Finding]:
+        """Flag ``2 ** (i ± k)`` / ``1 << (i ± k)`` over level variables."""
+        if source.logical_endswith("labeling/params.py"):
+            return
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.BinOp):
+                continue
+            if isinstance(node.op, ast.Pow):
+                base, exponent = node.left, node.right
+                if not self._is_const(base, 2):
+                    continue
+            elif isinstance(node.op, ast.LShift):
+                base, exponent = node.left, node.right
+                if not self._is_const(base, 1):
+                    continue
+            else:
+                continue
+            if self._is_schedule_expr(exponent):
+                yield self.finding(
+                    source,
+                    node,
+                    "2^(level±const) schedule arithmetic duplicated outside "
+                    "repro.labeling.params; use lam_for_level/ParamSchedule "
+                    "so the paper's radii cannot drift",
+                )
+
+    @staticmethod
+    def _is_const(node: ast.AST, value: int) -> bool:
+        return isinstance(node, ast.Constant) and node.value == value
+
+    def _is_schedule_expr(self, node: ast.AST) -> bool:
+        if not (
+            isinstance(node, ast.BinOp)
+            and isinstance(node.op, (ast.Add, ast.Sub))
+        ):
+            return False
+        for sub in ast.walk(node):
+            if _terminal_name(sub) in self._LEVEL_NAMES:
+                return True
+        return False
+
+
+class MutableDefaultRule(Rule):
+    """RPL005: no mutable default arguments.
+
+    A shared mutable default leaks state between calls — in this repo
+    that means one query's fault set or one chaos schedule's event list
+    silently contaminating the next, which is both wrong and
+    unreproducible.
+    """
+
+    rule_id = "RPL005"
+    summary = "mutable default argument"
+    contract = "no shared state between calls"
+
+    _MUTABLE_CALLS = {"list", "dict", "set", "bytearray", "defaultdict", "deque"}
+
+    def check(self, source: SourceFile) -> Iterator[Finding]:
+        """Flag list/dict/set (literals or constructors) used as defaults."""
+        for node in ast.walk(source.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            defaults = list(node.args.defaults) + [
+                d for d in node.args.kw_defaults if d is not None
+            ]
+            for default in defaults:
+                if self._is_mutable(default):
+                    yield self.finding(
+                        source,
+                        default,
+                        f"mutable default argument in {node.name}(); default "
+                        "to None and create the container inside the function",
+                    )
+
+    def _is_mutable(self, node: ast.AST) -> bool:
+        if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp,
+                             ast.DictComp, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Call):
+            return _terminal_name(node.func) in self._MUTABLE_CALLS
+        return False
+
+
+class AssertValidationRule(Rule):
+    """RPL006: no ``assert`` for runtime validation in library code.
+
+    ``python -O`` strips asserts, so a bounds or integrity check written
+    as ``assert`` vanishes in optimized deployments — exactly where the
+    never-silently-wrong contract matters most.  Library code raises
+    :class:`repro.exceptions.ReproError` subclasses instead; ``assert``
+    stays legal in tests.
+    """
+
+    rule_id = "RPL006"
+    summary = "'assert' used for runtime validation in library code"
+    contract = "never silently wrong (checks survive python -O)"
+
+    def check(self, source: SourceFile) -> Iterator[Finding]:
+        """Flag every ``assert`` statement in ``src/repro`` modules."""
+        if not source.in_library:
+            return
+        for node in ast.walk(source.tree):
+            if isinstance(node, ast.Assert):
+                yield self.finding(
+                    source,
+                    node,
+                    "'assert' is stripped under python -O; raise a "
+                    "repro.exceptions error for runtime validation",
+                )
+
+
+class UnsortedSerializationRule(Rule):
+    """RPL007: serialization writers must not iterate unordered containers.
+
+    The on-disk formats are checksummed (CRC32 over the byte stream),
+    and experiments compare encoded sizes bit-for-bit — so writer code
+    in the ``bitio``/``encoding``/``persistence``/``store`` modules must
+    emit fields in a *defined* order.  Iterating a ``set`` (anywhere in
+    those modules) or raw dict views (inside writer functions) feeds
+    container order into the byte stream; wrap the iterable in
+    ``sorted(...)``.
+    """
+
+    rule_id = "RPL007"
+    summary = "unsorted set/dict iteration inside a serialization writer"
+    contract = "deterministic byte streams (CRC-stable serialization)"
+
+    _SCOPE_TOKENS = ("bitio", "encoding", "persistence", "store")
+    _WRITER_TOKENS = ("write", "save", "encode", "serialize", "dump", "digest")
+    _DICT_VIEWS = {"keys", "values", "items"}
+
+    def check(self, source: SourceFile) -> Iterator[Finding]:
+        """Flag set iteration module-wide and dict views in writers."""
+        if not source.logical_name_contains(*self._SCOPE_TOKENS):
+            return
+        writer_loops: dict[int, str] = {}
+        for node in ast.walk(source.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if not self._is_writer(node.name):
+                    continue
+                for sub in ast.walk(node):
+                    if isinstance(sub, (ast.For, ast.AsyncFor)):
+                        writer_loops[id(sub)] = node.name
+        for node in ast.walk(source.tree):
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                yield from self._check_iter(
+                    source, node.iter, in_writer=writer_loops.get(id(node))
+                )
+            elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp,
+                                   ast.GeneratorExp)):
+                for generator in node.generators:
+                    if self._is_set_expr(generator.iter):
+                        yield self.finding(
+                            source,
+                            generator.iter,
+                            "comprehension over a set feeds container order "
+                            "into serialized bytes; wrap the iterable in "
+                            "sorted(...)",
+                        )
+
+    def _is_writer(self, name: str) -> bool:
+        lowered = name.lower()
+        return any(token in lowered for token in self._WRITER_TOKENS)
+
+    def _check_iter(
+        self, source: SourceFile, iter_node: ast.AST, in_writer: str | None
+    ) -> Iterator[Finding]:
+        if self._is_set_expr(iter_node):
+            yield self.finding(
+                source,
+                iter_node,
+                "iterating a set feeds container order into serialized "
+                "bytes; wrap the iterable in sorted(...)",
+            )
+        elif in_writer is not None and self._is_dict_view(iter_node):
+            yield self.finding(
+                source,
+                iter_node,
+                f"iterating raw dict view inside writer {in_writer}(); "
+                "serialize in sorted(...) order so the byte stream is "
+                "insertion-order independent",
+            )
+
+    @staticmethod
+    def _is_set_expr(node: ast.AST) -> bool:
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Call):
+            return _terminal_name(node.func) in {"set", "frozenset"}
+        return False
+
+    def _is_dict_view(self, node: ast.AST) -> bool:
+        return (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in self._DICT_VIEWS
+            and not node.args
+        )
+
+
+class ReturnAnnotationRule(Rule):
+    """RPL008: public API functions must declare their return type.
+
+    The core packages are mypy-checked in CI; an unannotated public
+    return type silently downgrades every caller to ``Any`` and lets a
+    type drift (e.g. ``float`` vs ``float | None``) through the static
+    gate.
+    """
+
+    rule_id = "RPL008"
+    summary = "missing return annotation on public API"
+    contract = "statically typed public surface (mypy gate)"
+
+    def check(self, source: SourceFile) -> Iterator[Finding]:
+        """Flag public module/class functions without ``-> ...``."""
+        if not source.in_library:
+            return
+        yield from self._scan(source, source.tree.body, public_context=True)
+
+    def _scan(
+        self, source: SourceFile, body: list[ast.stmt], public_context: bool
+    ) -> Iterator[Finding]:
+        for node in body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                public = not node.name.startswith("_")
+                if public and public_context and node.returns is None:
+                    yield self.finding(
+                        source,
+                        node,
+                        f"public function {node.name}() lacks a return "
+                        "annotation; the mypy gate needs '-> ...'",
+                    )
+            elif isinstance(node, ast.ClassDef):
+                yield from self._scan(
+                    source,
+                    node.body,
+                    public_context and not node.name.startswith("_"),
+                )
+
+
+#: every rule class, in catalogue order.
+ALL_RULES: tuple[type[Rule], ...] = (
+    UnseededRandomnessRule,
+    WallClockRule,
+    BroadExceptRule,
+    ParamDriftRule,
+    MutableDefaultRule,
+    AssertValidationRule,
+    UnsortedSerializationRule,
+    ReturnAnnotationRule,
+)
+
+
+def rule_catalogue() -> list[dict[str, str]]:
+    """The rule table (id, severity, summary, contract) for docs/CLI."""
+    return [
+        {
+            "id": rule_cls.rule_id,
+            "severity": rule_cls.severity,
+            "summary": rule_cls.summary,
+            "contract": rule_cls.contract,
+        }
+        for rule_cls in ALL_RULES
+    ]

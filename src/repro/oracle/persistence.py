@@ -48,7 +48,8 @@ from repro.labeling.decoder import (
     decode_distance,
     normalize_faults,
 )
-from repro.labeling.encoding import decode_label, encode_label
+from repro.labeling.encoding import DECODE_ERRORS, decode_label, encode_label
+from repro.labeling.label import VertexLabel
 
 _MAGIC = b"FSDL"
 _V1 = 1
@@ -252,7 +253,9 @@ class LabelDatabase:
                 continue
             try:
                 decode_label(data)
-            except Exception:
+            except DECODE_ERRORS:
+                # explicit quarantine: the vertex id joins the corrupt
+                # list the caller must act on
                 bad.add(vertex)
         return sorted(bad)
 
@@ -283,7 +286,7 @@ class LabelDatabase:
             raise LabelCorruptionError(f"label {vertex} is quarantined: {reason}")
         return self._table[vertex]
 
-    def label(self, vertex: int):
+    def label(self, vertex: int) -> VertexLabel:
         """Decode one stored label.
 
         Raises :class:`QueryError` for an out-of-range vertex and
@@ -299,7 +302,7 @@ class LabelDatabase:
             return decode_label(self._table[vertex])
         except EncodingError as exc:
             raise LabelCorruptionError(f"label {vertex}: {exc}") from exc
-        except Exception as exc:  # corrupt bitstream: struct/index/value errors
+        except DECODE_ERRORS as exc:  # corrupt bitstream: index/value errors
             raise LabelCorruptionError(
                 f"label {vertex} failed to decode: {exc!r}"
             ) from exc

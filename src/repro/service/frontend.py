@@ -41,7 +41,7 @@ from repro.labeling.decoder import (
     decode_distance,
     normalize_faults,
 )
-from repro.labeling.encoding import decode_label
+from repro.labeling.encoding import DECODE_ERRORS, decode_label
 from repro.service.client import ResilientLabelClient
 from repro.service.clock import VirtualClock
 from repro.service.store import ShardedLabelStore
@@ -240,9 +240,11 @@ class QueryService:
                 continue
             try:
                 labels[vertex] = decode_label(outcome.data)
-            except Exception as exc:
-                # CRC passed but the bytes do not decode: surface it as
-                # a fetch failure, never as a guessed label
+            except DECODE_ERRORS as exc:
+                # CRC passed but the bytes do not decode
+                # (LabelCorruptionError included): surface it as a fetch
+                # failure feeding an explicitly degraded outcome, never
+                # as a guessed label
                 metrics.decode_failures += 1
                 missing.append(
                     MissingLabel(vertex, role, f"undecodable: {exc!r}")

@@ -12,9 +12,13 @@ windows) replayable by :class:`repro.chaos.runner.ChaosRunner`.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.graphs.graph import Graph
 from repro.util.rng import RngLike, make_rng
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.chaos.plan import FaultPlan
 
 
 @dataclass(frozen=True)
@@ -72,7 +76,7 @@ def churn_scenario(
     num_events: int = 100,
     seed: RngLike = None,
     drop_probability: float = 0.0,
-):
+) -> "FaultPlan":
     """A hostile churn workload as a chaos :class:`~repro.chaos.plan.FaultPlan`.
 
     Interleaves vertex/edge failures and recoveries, lossy knowledge

@@ -1,0 +1,8 @@
+"""Fixture: raw ``random`` import bypassing the seed plumbing (RPL001)."""
+
+import random
+
+
+def pick(n: int) -> int:
+    """Unseeded draw — irreproducible."""
+    return random.randrange(n)

@@ -1,0 +1,8 @@
+"""Fixture: randomness routed through ``repro.util.rng`` (RPL001 clean)."""
+
+from repro.util.rng import make_rng
+
+
+def pick(n: int, seed: int = 0) -> int:
+    """Seeded draw — reproducible bit-for-bit."""
+    return make_rng(seed).randrange(n)

@@ -1,0 +1,8 @@
+"""Fixture: wall-clock read (RPL002)."""
+
+import time
+
+
+def stamp() -> float:
+    """Couples the run to the host's wall clock."""
+    return time.time()

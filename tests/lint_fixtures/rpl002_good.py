@@ -1,0 +1,9 @@
+"""Fixture: monotonic elapsed measurement (RPL002 clean)."""
+
+import time
+
+
+def measure() -> float:
+    """Elapsed time via perf_counter, never the wall clock."""
+    start = time.perf_counter()
+    return time.perf_counter() - start

@@ -1,0 +1,9 @@
+"""Fixture: broad handler that swallows corruption (RPL003)."""
+
+
+def load(data: bytes) -> str | None:
+    """Silently turns any failure — corruption included — into None."""
+    try:
+        return data.decode("utf-8")
+    except Exception:
+        return None

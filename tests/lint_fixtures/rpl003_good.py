@@ -1,0 +1,17 @@
+"""Fixture: handlers that cannot swallow corruption (RPL003 clean)."""
+
+
+def load(data: bytes) -> str:
+    """Narrow tuple: only the errors decode can actually raise."""
+    try:
+        return data.decode("utf-8")
+    except (UnicodeDecodeError, ValueError) as exc:
+        raise RuntimeError(f"undecodable payload: {exc}") from exc
+
+
+def audit(data: bytes) -> str:
+    """Broad catch is fine when the handler provably re-raises."""
+    try:
+        return data.decode("utf-8")
+    except Exception:
+        raise

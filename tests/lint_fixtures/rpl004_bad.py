@@ -1,0 +1,11 @@
+"""Fixture: drifted copies of the paper's radius schedule (RPL004)."""
+
+
+def lam(i: int) -> int:
+    """A duplicated ``λ_i = 2^{i+1}`` that can drift from params.py."""
+    return 1 << (i + 1)
+
+
+def rho(i: int, c: int) -> int:
+    """A duplicated ``ρ_i = 2^{i-c}``."""
+    return 2 ** (i - c)

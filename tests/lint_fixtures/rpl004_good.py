@@ -1,0 +1,8 @@
+"""Fixture: schedule values read from the parameter module (RPL004 clean)."""
+
+from repro.labeling.params import lam_for_level
+
+
+def protected_ball_radius(i: int) -> int:
+    """``λ_i`` via the single source of truth."""
+    return lam_for_level(i)

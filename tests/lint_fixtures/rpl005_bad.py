@@ -1,0 +1,7 @@
+"""Fixture: mutable default argument (RPL005)."""
+
+
+def collect(item: int, acc: list = []) -> list:
+    """The default list is shared across every call."""
+    acc.append(item)
+    return acc

@@ -1,0 +1,9 @@
+"""Fixture: None default with per-call container (RPL005 clean)."""
+
+
+def collect(item: int, acc: list | None = None) -> list:
+    """Fresh container per call unless one is injected."""
+    if acc is None:
+        acc = []
+    acc.append(item)
+    return acc

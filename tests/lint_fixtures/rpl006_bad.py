@@ -1,0 +1,7 @@
+"""Fixture: ``assert`` used for runtime validation in library code (RPL006)."""
+
+
+def check_radius(radius: int) -> int:
+    """Validation that silently vanishes under ``python -O``."""
+    assert radius >= 0, "radius must be non-negative"
+    return radius

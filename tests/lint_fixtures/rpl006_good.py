@@ -1,0 +1,8 @@
+"""Fixture: explicit raise for runtime validation (RPL006 clean)."""
+
+
+def check_radius(radius: int) -> int:
+    """Validation that survives ``python -O``."""
+    if radius < 0:
+        raise ValueError("radius must be non-negative")
+    return radius

@@ -1,0 +1,13 @@
+"""Fixture: unordered iteration feeding a serialization path (RPL007)."""
+
+
+def write_ids(ids: list, out: list) -> None:
+    """Iterates a set expression — byte output depends on hash order."""
+    for vertex in set(ids):
+        out.append(vertex)
+
+
+def save_table(table: dict, out: list) -> None:
+    """Writer-named function iterating raw dict views."""
+    for key in table.keys():
+        out.append(key)

@@ -1,0 +1,13 @@
+"""Fixture: sorted iteration before serialization (RPL007 clean)."""
+
+
+def write_ids(ids: list, out: list) -> None:
+    """Sorted set iteration — deterministic bytes."""
+    for vertex in sorted(set(ids)):
+        out.append(vertex)
+
+
+def save_table(table: dict, out: list) -> None:
+    """Writer iterating keys in sorted order."""
+    for key in sorted(table.keys()):
+        out.append(key)

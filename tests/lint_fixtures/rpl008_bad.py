@@ -1,0 +1,14 @@
+"""Fixture: public API without return annotations (RPL008)."""
+
+
+def distance(s, t):
+    """Missing ``->`` annotation."""
+    return abs(s - t)
+
+
+class Oracle:
+    """Public class whose public method is unannotated."""
+
+    def query(self, s, t):
+        """Missing ``->`` annotation."""
+        return s + t

@@ -1,0 +1,18 @@
+"""Fixture: public API with return annotations (RPL008 clean)."""
+
+
+def distance(s: int, t: int) -> int:
+    """Annotated return."""
+    return abs(s - t)
+
+
+class Oracle:
+    """Public class with annotated public method."""
+
+    def query(self, s: int, t: int) -> int:
+        """Annotated return."""
+        return s + t
+
+    def _internal(self, s, t):
+        """Private helpers are exempt."""
+        return s - t

@@ -1,0 +1,8 @@
+"""Fixture: justified suppression silences the finding."""
+
+import random  # repro-lint: disable=RPL001 -- fixture exercising the suppression path
+
+
+def pick(n: int) -> int:
+    """The import above is deliberately raw; the call itself is not flagged."""
+    return random.randrange(n)

@@ -1,0 +1,8 @@
+"""Fixture: suppression without a justification must not silence anything."""
+
+import random  # repro-lint: disable=RPL001
+
+
+def pick(n: int) -> int:
+    """The directive above lacks the required ``-- <why>`` clause."""
+    return random.randrange(n)

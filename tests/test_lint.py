@@ -1,0 +1,232 @@
+"""Tests for the ``repro.lint`` static-analysis pass.
+
+Covers: every RPL rule firing on a bad fixture and staying silent on
+the matching good fixture, suppression-comment handling (justified,
+unjustified, standalone, malformed), the JSON reporter schema, the CLI
+subcommand, and the meta-test that the repo's own tree lints clean.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.lint import (
+    LintEngine,
+    lint_paths,
+    render_json,
+    render_text,
+    rule_catalogue,
+)
+from repro.lint.engine import META_RULE_ID
+
+ROOT = Path(__file__).resolve().parents[1]
+FIXTURES = Path(__file__).resolve().parent / "lint_fixtures"
+
+#: rule id -> (fixture stem, logical path the snippet is linted *as*).
+#: The logical path puts each snippet in the scope where its rule is
+#: active (e.g. RPL006/RPL008 only police library code).
+CASES = {
+    "RPL001": ("rpl001", "src/repro/analysis/sampler.py"),
+    "RPL002": ("rpl002", "src/repro/analysis/timing.py"),
+    "RPL003": ("rpl003", "src/repro/oracle/loader.py"),
+    "RPL004": ("rpl004", "src/repro/labeling/decoder_fixture.py"),
+    "RPL005": ("rpl005", "src/repro/service/defaults.py"),
+    "RPL006": ("rpl006", "src/repro/graphs/checks.py"),
+    "RPL007": ("rpl007", "src/repro/service/store_fixture.py"),
+    "RPL008": ("rpl008", "src/repro/labeling/api.py"),
+}
+
+ENGINE = LintEngine()
+
+
+# -- per-rule fixtures -------------------------------------------------------
+
+
+@pytest.mark.parametrize("rule_id", sorted(CASES))
+def test_bad_fixture_fires(rule_id):
+    stem, logical = CASES[rule_id]
+    findings = ENGINE.check_file(FIXTURES / f"{stem}_bad.py", logical=logical)
+    assert findings, f"{rule_id} bad fixture produced no findings"
+    assert {f.rule for f in findings} == {rule_id}, [f.render() for f in findings]
+
+
+@pytest.mark.parametrize("rule_id", sorted(CASES))
+def test_good_fixture_is_clean(rule_id):
+    stem, logical = CASES[rule_id]
+    findings = ENGINE.check_file(FIXTURES / f"{stem}_good.py", logical=logical)
+    assert findings == [], [f.render() for f in findings]
+
+
+def test_rpl001_allowed_in_rng_module():
+    text = (FIXTURES / "rpl001_bad.py").read_text(encoding="utf-8")
+    findings = ENGINE.check_source(text, logical="src/repro/util/rng.py")
+    assert findings == [], [f.render() for f in findings]
+
+
+def test_rpl004_allowed_in_params_module():
+    text = (FIXTURES / "rpl004_bad.py").read_text(encoding="utf-8")
+    findings = ENGINE.check_source(text, logical="src/repro/labeling/params.py")
+    assert findings == [], [f.render() for f in findings]
+
+
+def test_rpl006_ignores_scripts_outside_library():
+    text = (FIXTURES / "rpl006_bad.py").read_text(encoding="utf-8")
+    findings = ENGINE.check_source(text, logical="tools/some_script.py")
+    assert [f.rule for f in findings] == []
+
+
+# -- suppressions ------------------------------------------------------------
+
+
+def test_justified_suppression_silences_finding():
+    findings = ENGINE.check_file(
+        FIXTURES / "suppress_justified.py",
+        logical="src/repro/analysis/suppressed.py",
+    )
+    assert findings == [], [f.render() for f in findings]
+
+
+def test_unjustified_suppression_is_an_error_and_does_not_silence():
+    findings = ENGINE.check_file(
+        FIXTURES / "suppress_unjustified.py",
+        logical="src/repro/analysis/suppressed.py",
+    )
+    rules = sorted(f.rule for f in findings)
+    assert rules == [META_RULE_ID, "RPL001"], [f.render() for f in findings]
+
+
+def test_standalone_suppression_targets_next_line():
+    src = (
+        '"""Doc."""\n'
+        "import time\n"
+        "# repro-lint: disable=RPL002 -- fixture exercising standalone comments\n"
+        "STAMP = time.time()\n"
+    )
+    findings = ENGINE.check_source(src, logical="src/repro/x.py")
+    assert findings == [], [f.render() for f in findings]
+
+
+def test_malformed_directive_reports_meta_rule():
+    src = '"""Doc."""\nX = 1  # repro-lint: disable=nonsense\n'
+    findings = ENGINE.check_source(src, logical="src/repro/x.py")
+    assert [f.rule for f in findings] == [META_RULE_ID]
+
+
+def test_directive_inside_string_is_not_a_suppression():
+    src = (
+        '"""Doc."""\n'
+        'NOTE = "# repro-lint: disable=RPL001"\n'
+        "import random\n"
+    )
+    findings = ENGINE.check_source(src, logical="src/repro/x.py")
+    assert [f.rule for f in findings] == ["RPL001"]
+
+
+def test_unparseable_file_yields_meta_finding():
+    findings = ENGINE.check_source("def broken(:\n", logical="src/repro/x.py")
+    assert [f.rule for f in findings] == [META_RULE_ID]
+    assert "does not parse" in findings[0].message
+
+
+# -- engine configuration ----------------------------------------------------
+
+
+def test_select_restricts_rules():
+    engine = LintEngine(select=["RPL001"])
+    findings = engine.check_file(
+        FIXTURES / "rpl005_bad.py", logical="src/repro/service/defaults.py"
+    )
+    assert findings == []
+
+
+def test_select_rejects_unknown_rule_ids():
+    with pytest.raises(ValueError):
+        LintEngine(select=["RPL999"])
+
+
+def test_rule_catalogue_covers_all_ids():
+    ids = [entry["id"] for entry in rule_catalogue()]
+    assert ids == sorted(CASES)
+    for entry in rule_catalogue():
+        assert entry["summary"] and entry["contract"]
+
+
+# -- reporters ---------------------------------------------------------------
+
+
+def test_json_reporter_schema():
+    result = lint_paths([FIXTURES / "rpl001_bad.py"])
+    doc = json.loads(render_json(result))
+    assert doc["version"] == 1
+    assert doc["ok"] is False
+    assert doc["files_scanned"] == 1
+    assert doc["counts"].get("RPL001", 0) >= 1
+    assert doc["findings"], "expected at least one finding in the JSON report"
+    for finding in doc["findings"]:
+        assert set(finding) == {"path", "line", "col", "rule", "severity", "message"}
+
+
+def test_text_reporter_mentions_rule_and_location():
+    result = lint_paths([FIXTURES / "rpl001_bad.py"])
+    text = render_text(result)
+    assert "RPL001" in text
+    assert "rpl001_bad.py" in text
+
+
+def test_report_is_deterministic_across_runs():
+    first = render_json(lint_paths([FIXTURES]))
+    second = render_json(lint_paths([FIXTURES]))
+    assert first == second
+
+
+# -- the repo's own tree -----------------------------------------------------
+
+
+def test_repo_tree_lints_clean():
+    result = lint_paths([ROOT / "src" / "repro", ROOT / "tools"])
+    assert result.ok, render_text(result)
+    assert result.files_scanned > 50
+
+
+# -- CLI ---------------------------------------------------------------------
+
+
+def test_cli_lint_clean_tree_exits_zero(capsys):
+    code = cli_main(["lint", str(ROOT / "src" / "repro"), str(ROOT / "tools")])
+    assert code == 0
+    assert "OK" in capsys.readouterr().out
+
+
+def test_cli_lint_bad_fixture_exits_nonzero(capsys):
+    code = cli_main(["lint", str(FIXTURES / "rpl001_bad.py")])
+    assert code == 1
+    assert "RPL001" in capsys.readouterr().out
+
+
+def test_cli_lint_json_format(capsys):
+    code = cli_main(["lint", str(FIXTURES / "rpl001_bad.py"), "--format", "json"])
+    assert code == 1
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["ok"] is False
+
+
+def test_cli_lint_missing_path_errors(capsys):
+    code = cli_main(["lint", "/no/such/path"])
+    assert code == 1
+    assert "error: no such path" in capsys.readouterr().err
+
+
+def test_cli_lint_unknown_select_errors(capsys):
+    code = cli_main(["lint", str(FIXTURES), "--select", "RPL999"])
+    assert code == 1
+    assert "unknown rule ids" in capsys.readouterr().err
+
+
+def test_cli_list_rules(capsys):
+    code = cli_main(["lint", "--list-rules"])
+    assert code == 0
+    out = capsys.readouterr().out
+    for rule_id in sorted(CASES):
+        assert rule_id in out

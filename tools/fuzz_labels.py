@@ -58,9 +58,12 @@ def main(argv: list[str] | None = None) -> int:
         )
         probes.append((s, t, faults))
 
-    start = time.time()
-    report = fuzz_database(blob, probes, trials=args.trials, seed=args.seed)
-    elapsed = time.time() - start
+    # elapsed measurement only — perf_counter, never the wall clock; the
+    # mutation RNG is an explicit seeded repro.util.rng generator
+    mutation_rng = make_rng(args.seed)
+    start = time.perf_counter()
+    report = fuzz_database(blob, probes, trials=args.trials, seed=mutation_rng)
+    elapsed = time.perf_counter() - start
     print(report.summary())
     print(f"elapsed: {elapsed:.1f}s")
     for line in report.silent_wrong[:10]:
