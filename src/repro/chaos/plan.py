@@ -46,6 +46,8 @@ SERVICE_EVENT_KINDS = frozenset({
     "shard_slow",
     "shard_flaky",
     "shard_corrupt",
+    "shard_crash",
+    "shard_restart",
     "query",
     "advance",
 })
@@ -213,6 +215,16 @@ class FaultPlan:
                 kind="shard_corrupt", shard=shard, probability=fraction
             )
         )
+        return self
+
+    def shard_crash(self, shard: int) -> "FaultPlan":
+        """Schedule a shard process death (in-memory state lost)."""
+        self.events.append(ChaosEvent(kind="shard_crash", shard=shard))
+        return self
+
+    def shard_restart(self, shard: int) -> "FaultPlan":
+        """Schedule a shard restart: reload-from-disk through recovery."""
+        self.events.append(ChaosEvent(kind="shard_restart", shard=shard))
         return self
 
     def query(
@@ -386,14 +398,15 @@ def random_shard_plan(
     """A seeded serving-tier schedule: shard faults interleaved with queries.
 
     Mixes ``shard_down`` / ``shard_slow`` / ``shard_flaky`` /
-    ``shard_corrupt`` events (tracking shard health so every event is
-    meaningful — a down shard is not downed again), virtual-time
-    ``advance`` windows, and forbidden-set ``query`` events whose
-    outcomes the service runner judges against ground truth.  With
-    ``stabilize=True`` the plan ends by recovering every shard,
-    letting breaker cooldowns elapse, and probing with queries — so
-    every schedule exercises the "recovery restores exact answers"
-    invariant.
+    ``shard_corrupt`` / ``shard_crash`` events (tracking shard health
+    so every event is meaningful — a down shard is not downed again,
+    and a crashed shard is brought back with ``shard_restart``, a
+    genuine reload-from-disk), virtual-time ``advance`` windows, and
+    forbidden-set ``query`` events whose outcomes the service runner
+    judges against ground truth.  With ``stabilize=True`` the plan
+    ends by recovering or restarting every shard, letting breaker
+    cooldowns elapse, and probing with queries — so every schedule
+    exercises the "recovery restores exact answers" invariant.
     """
     rng = make_rng(seed)
     n = graph.num_vertices
@@ -423,40 +436,51 @@ def random_shard_plan(
     while len(plan.events) < num_events:
         roll = rng.random()
         healthy = [s for s in range(num_shards) if s not in unhealthy]
-        if roll < 0.10 and healthy:
+        if roll < 0.09 and healthy:
             shard = rng.choice(healthy)
             unhealthy[shard] = "down"
             plan.shard_down(shard)
-        elif roll < 0.18 and healthy:
+        elif roll < 0.16 and healthy:
             shard = rng.choice(healthy)
             unhealthy[shard] = "slow"
             plan.shard_slow(shard, latency_ms=rng.choice([40.0, 80.0, 160.0]))
-        elif roll < 0.26 and healthy:
+        elif roll < 0.23 and healthy:
             shard = rng.choice(healthy)
             unhealthy[shard] = "flaky"
             plan.shard_flaky(
                 shard, probability=rng.choice([0.3, 0.6, 0.9])
             )
-        elif roll < 0.32 and healthy:
+        elif roll < 0.29 and healthy:
             shard = rng.choice(healthy)
             unhealthy[shard] = "corrupt"
             plan.shard_corrupt(
                 shard, fraction=rng.choice([0.25, 0.5, 1.0])
             )
-        elif roll < 0.44 and unhealthy:
+        elif roll < 0.36 and healthy:
+            shard = rng.choice(healthy)
+            unhealthy[shard] = "crash"
+            plan.shard_crash(shard)
+        elif roll < 0.46 and unhealthy:
             shard = rng.choice(sorted(unhealthy))
-            del unhealthy[shard]
-            plan.shard_recover(shard)
-        elif roll < 0.52:
+            condition = unhealthy.pop(shard)
+            if condition == "crash":
+                plan.shard_restart(shard)
+            else:
+                plan.shard_recover(shard)
+        elif roll < 0.54:
             plan.advance(rng.choice([20.0, 60.0, 150.0, 400.0]))
         else:
             random_query()
 
     if stabilize:
-        # recover everything, wait out every breaker cooldown, then
-        # probe: a healed tier must answer exactly again
+        # recover (or restart-from-disk) everything, wait out every
+        # breaker cooldown, then probe: a healed tier must answer
+        # exactly again
         for shard in sorted(unhealthy):
-            plan.shard_recover(shard)
+            if unhealthy[shard] == "crash":
+                plan.shard_restart(shard)
+            else:
+                plan.shard_recover(shard)
         unhealthy.clear()
         plan.advance(2 * breaker_cooldown_ms)
         for _ in range(4):

@@ -3,8 +3,12 @@
 Drives a :class:`~repro.service.frontend.QueryService` through a
 :class:`~repro.chaos.plan.FaultPlan` of shard-level events
 (``shard_down`` / ``shard_slow`` / ``shard_flaky`` / ``shard_corrupt``
-/ ``shard_recover``), virtual-time windows and forbidden-set queries,
-judging every answer against ground truth recomputed from the graph:
+/ ``shard_crash`` / ``shard_restart`` / ``shard_recover``),
+virtual-time windows and forbidden-set queries, judging every answer
+against ground truth recomputed from the graph.  The store persists
+its shards through the crash-consistent durability layer on a seeded
+:class:`~repro.durability.fs.SimulatedFS`, so every crash/restart pair
+is a genuine reload-from-disk through recovery:
 
 * **no silent wrong** — an ``exact`` answer must satisfy the scheme's
   ``(1+ε)`` stretch bound against the true ``d_{G\\F}`` (and agree on
@@ -31,6 +35,7 @@ import math
 from dataclasses import dataclass, field
 
 from repro.chaos.plan import ChaosEvent, FaultPlan, SERVICE_EVENT_KINDS
+from repro.durability.fs import SimulatedFS
 from repro.exceptions import ReproError
 from repro.graphs.graph import Graph
 from repro.graphs.traversal import bfs_distances_avoiding
@@ -110,6 +115,12 @@ class ServiceChaosRunner:
         )
         self._event_rng = make_rng(plan.seed + 2)
         self._probe_rng = make_rng(plan.seed + 3)
+        # shards persist through the crash-consistent durability layer,
+        # so shard_crash / shard_restart events exercise a genuine
+        # reload-from-disk (on a seeded simulated filesystem)
+        self._service.store.attach_durability(
+            SimulatedFS(seed=plan.seed + 4), "service-chaos"
+        )
         # shadow health derived from the event stream alone; conditions
         # stack (a shard can be slow *and* flaky) until a recover clears
         self._shadow: dict[int, set[str]] = {}
@@ -149,7 +160,8 @@ class ServiceChaosRunner:
             return
         self._service.store.apply_event(event, rng=self._event_rng)
         shard = event.shard
-        if kind == "shard_recover":
+        if kind in ("shard_recover", "shard_restart"):
+            # both clear every condition: recovery is a restart-from-disk
             self._shadow.pop(shard, None)
         else:
             self._shadow.setdefault(shard, set()).add(
@@ -298,6 +310,8 @@ class ServiceChaosRunner:
                 actual.add("flaky")
             if health.corrupted_records > 0:
                 actual.add("corrupt")
+            if health.crashed:
+                actual.add("crash")
             if expected != actual:
                 self._violation(
                     index,

@@ -10,6 +10,7 @@ Subcommands::
     python -m repro chaos  GRAPH_SPEC [--schedules 5] [--events 100] [--drop 0.2]
     python -m repro serve-chaos GRAPH_SPEC [--schedules 5] [--events 60] \
         [--shards 4] [--replication 2] [--no-hedging]
+    python -m repro crash-battery [GRAPH_SPEC] [--seed 0] [--churn-rounds 3]
     python -m repro experiment E1 [E5 ...] [--full]
     python -m repro lint [PATH ...] [--format text|json] [--select RPL001,...]
 
@@ -152,10 +153,23 @@ def cmd_info(args: argparse.Namespace) -> int:
 
 
 def cmd_fsck(args: argparse.Namespace) -> int:
-    """``repro fsck``: integrity-check a saved label database."""
+    """``repro fsck``: integrity-check a saved label database.
+
+    Exit codes: 0 = clean, 1 = in-place corrupted record(s),
+    2 = truncated tail (the file stops before a record does — the
+    classic torn-write artifact of a crashed save).
+    """
+    from repro.exceptions import DatabaseTruncationError
     from repro.oracle.persistence import LabelDatabase
 
-    db = LabelDatabase.load(args.database, strict=False)
+    try:
+        db = LabelDatabase.load(args.database, strict=False)
+    except DatabaseTruncationError as exc:
+        print("integrity: TRUNCATED — the file ends before a record does")
+        print(f"  {exc}")
+        print("  likely cause: a crash mid-write; restore from the atomic "
+              "save path or rebuild")
+        return 2
     bad = db.verify()
     print(f"format:    v{db.version}")
     print(f"labels:    {db.num_vertices}")
@@ -165,7 +179,7 @@ def cmd_fsck(args: argparse.Namespace) -> int:
     if not bad:
         print("integrity: OK")
         return 0
-    print(f"integrity: {len(bad)} corrupt label(s): "
+    print(f"integrity: {len(bad)} in-place corrupt label(s): "
           f"{', '.join(map(str, bad[:20]))}"
           f"{' ...' if len(bad) > 20 else ''}")
     for vertex, reason in sorted(db.quarantined.items())[:20]:
@@ -204,6 +218,46 @@ def cmd_chaos(args: argparse.Namespace) -> int:
         violations += len(report.violations)
     print(f"\n{len(reports)} schedule(s), {violations} invariant violation(s)")
     return 0 if violations == 0 else 1
+
+
+def cmd_crash_battery(args: argparse.Namespace) -> int:
+    """``repro crash-battery``: exhaustive kill-point durability check.
+
+    Enumerates every filesystem kill-point a seeded write workload
+    crosses, crashes at each one under every crash mode (torn write,
+    partial flush, lost rename), recovers, and checks the durability
+    invariant.  Exit code 0 only when every kill-point passes.
+    """
+    from repro.durability import CRASH_MODES, exhaustive_crash_battery
+
+    graph = parse_graph_spec(args.graph)
+    print(f"graph:        {graph!r}")
+    print(f"crash modes:  {', '.join(CRASH_MODES)}")
+    report = exhaustive_crash_battery(
+        graph,
+        epsilon=args.epsilon,
+        seed=args.seed,
+        churn_rounds=args.churn_rounds,
+    )
+    print(f"workload:     {report.workload_ops} logical ops over "
+          f"{report.vertices} labels (seed {report.seed})")
+    print(f"kill-points:  {report.fs_ops} filesystem ops × "
+          f"{len(CRASH_MODES)} modes = {report.kill_points} crashes")
+    print(f"recoveries:   {report.crashes_fired} "
+          f"({report.torn_tails_truncated} torn WAL tails truncated, "
+          f"{report.tmp_files_swept} orphaned tmp files swept)")
+    print(f"probes:       {report.probe_queries} post-recovery queries "
+          f"checked against BFS ground truth")
+    if report.passed:
+        print("durability:   OK — every kill-point recovered to a prefix "
+              "of acknowledged writes")
+        return 0
+    print(f"durability:   {len(report.violations)} VIOLATION(S)")
+    for line in report.violations[:30]:
+        print(f"  ! {line}")
+    if len(report.violations) > 30:
+        print(f"  ... and {len(report.violations) - 30} more")
+    return 1
 
 
 def cmd_serve_chaos(args: argparse.Namespace) -> int:
@@ -395,6 +449,21 @@ def build_parser() -> argparse.ArgumentParser:
                          help="disable hedged reads to replicas")
     p_serve.add_argument("-e", "--epsilon", type=float, default=1.0)
     p_serve.set_defaults(func=cmd_serve_chaos)
+
+    p_battery = sub.add_parser(
+        "crash-battery",
+        help="exhaustively crash-test the durability layer at every "
+        "kill-point",
+    )
+    p_battery.add_argument(
+        "graph", nargs="?", default="grid:4x4",
+        help="graph spec for the label workload (default grid:4x4)",
+    )
+    p_battery.add_argument("--seed", type=int, default=0)
+    p_battery.add_argument("--churn-rounds", type=int, default=3,
+                           help="delete/re-put churn rounds in the workload")
+    p_battery.add_argument("-e", "--epsilon", type=float, default=1.0)
+    p_battery.set_defaults(func=cmd_crash_battery)
 
     p_verify = sub.add_parser(
         "verify", help="check a scheme against the paper's definitions"

@@ -1,0 +1,86 @@
+"""Crash-consistent durability layer: WAL + atomic snapshots + recovery.
+
+Everything durable in the repository flows through this package: an
+injectable :class:`FileSystem` (real or crash-simulating), the
+tmp+fsync+replace atomic-write primitive, a CRC-framed write-ahead log
+with snapshot compaction (:class:`DurableLabelTable`), restart
+recovery (:class:`RecoveryManager`), and an exhaustive kill-point
+crash battery (:func:`exhaustive_crash_battery`) that proves the
+durability invariant at every write/flush/rename boundary under torn
+writes, partial flushes, and lost renames.
+"""
+
+from repro.durability.atomic import (
+    TMP_SUFFIX,
+    atomic_write,
+    atomic_write_path,
+    remove_stale_tmp,
+)
+from repro.durability.battery import (
+    CrashBatteryReport,
+    WorkloadOp,
+    build_workload,
+    exhaustive_crash_battery,
+)
+from repro.durability.fs import (
+    CRASH_MODES,
+    KILL_POINT_OPS,
+    FileSystem,
+    RealFS,
+    SimulatedFS,
+)
+from repro.durability.recovery import RecoveryManager, RecoveryReport
+from repro.durability.snapshot import (
+    SNAPSHOT_MAGIC,
+    SNAPSHOT_VERSION,
+    decode_snapshot,
+    encode_snapshot,
+)
+from repro.durability.table import (
+    OP_DELETE,
+    OP_PUT,
+    DurableLabelTable,
+    decode_record,
+    encode_record,
+)
+from repro.durability.wal import (
+    WAL_MAGIC,
+    WAL_VERSION,
+    WalReplay,
+    encode_frame,
+    encode_wal_header,
+    read_wal,
+)
+
+__all__ = [
+    "TMP_SUFFIX",
+    "atomic_write",
+    "atomic_write_path",
+    "remove_stale_tmp",
+    "CrashBatteryReport",
+    "WorkloadOp",
+    "build_workload",
+    "exhaustive_crash_battery",
+    "CRASH_MODES",
+    "KILL_POINT_OPS",
+    "FileSystem",
+    "RealFS",
+    "SimulatedFS",
+    "RecoveryManager",
+    "RecoveryReport",
+    "SNAPSHOT_MAGIC",
+    "SNAPSHOT_VERSION",
+    "decode_snapshot",
+    "encode_snapshot",
+    "OP_DELETE",
+    "OP_PUT",
+    "DurableLabelTable",
+    "decode_record",
+    "encode_record",
+    "WAL_MAGIC",
+    "WAL_VERSION",
+    "WalReplay",
+    "encode_frame",
+    "encode_wal_header",
+    "read_wal",
+]

@@ -1,0 +1,51 @@
+"""The atomic-write primitive every durable artifact goes through.
+
+Pattern: write the full payload to ``<path>.tmp``, ``fsync`` it, then
+``replace`` it over the destination.  A crash at any boundary leaves
+either the old file or the new file — never a torn mix — because the
+rename is the single atomic commit point and the payload is already
+durable when it happens.
+
+Lint rule RPL009 enforces that persistence/durability modules never
+write durable artifacts any other way.
+"""
+
+from __future__ import annotations
+
+from repro.durability.fs import FileSystem, RealFS
+
+#: suffix of the scratch file used by the tmp+fsync+replace pattern
+TMP_SUFFIX = ".tmp"
+
+
+def atomic_write(fs: FileSystem, path: str, data: bytes) -> int:
+    """Atomically install ``data`` at ``path`` via ``fs``.
+
+    Returns the number of bytes written.  After a crash the file at
+    ``path`` is either its previous content or exactly ``data``.
+    """
+    tmp = path + TMP_SUFFIX
+    fs.write_bytes(tmp, data)
+    fs.fsync(tmp)
+    fs.replace(tmp, path)
+    return len(data)
+
+
+def atomic_write_path(path: str, data: bytes) -> int:
+    """Atomically install ``data`` at a real-filesystem ``path``."""
+    return atomic_write(RealFS(), path, data)
+
+
+def remove_stale_tmp(fs: FileSystem, directory: str) -> list[str]:
+    """Delete leftover ``*.tmp`` scratch files under ``directory``.
+
+    A crash between ``write`` and ``replace`` can orphan a scratch
+    file; it carries no committed state, so recovery sweeps it.
+    Returns the removed names (sorted) for reporting.
+    """
+    removed = []
+    for name in fs.listdir(directory):
+        if name.endswith(TMP_SUFFIX):
+            fs.remove(f"{directory}/{name}")
+            removed.append(name)
+    return removed

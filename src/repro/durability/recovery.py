@@ -1,0 +1,143 @@
+"""Restart-time recovery: snapshot load + WAL replay + torn-tail repair.
+
+:class:`RecoveryManager` rebuilds a :class:`DurableLabelTable` from
+whatever a crash left on disk:
+
+1. sweep orphaned ``*.tmp`` scratch files (they carry no committed
+   state by construction of the atomic-write protocol);
+2. load the snapshot if one exists — snapshots are installed
+   atomically, so any integrity failure is surfaced as
+   :class:`~repro.exceptions.StorageCorruptionError`, never repaired;
+3. read the WAL; a torn tail (incomplete or checksum-failing final
+   frame) is truncated by atomically rewriting the valid prefix;
+4. replay intact records, skipping any at or below the snapshot LSN
+   (the crash-safe compaction window).
+
+The resulting state is exactly ``apply(acknowledged mutations)`` plus
+possibly the one mutation that was in flight when the machine died —
+the durability invariant the crash battery checks at every kill-point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.durability.atomic import atomic_write, remove_stale_tmp
+from repro.durability.fs import FileSystem
+from repro.durability.snapshot import decode_snapshot
+from repro.durability.table import (
+    OP_PUT,
+    DurableLabelTable,
+    decode_record,
+    snapshot_path,
+    wal_path,
+)
+from repro.durability.wal import encode_wal_header, read_wal
+from repro.exceptions import StorageCorruptionError
+
+
+@dataclass(frozen=True)
+class RecoveryReport:
+    """What one :meth:`RecoveryManager.recover` call found and did."""
+
+    directory: str
+    swept_tmp: tuple[str, ...]
+    snapshot_present: bool
+    snapshot_lsn: int
+    wal_present: bool
+    wal_base_lsn: int
+    records_replayed: int
+    records_skipped: int
+    torn_bytes_truncated: int
+    torn_reason: str | None
+    recovered_lsn: int
+    recovered_vertices: int
+
+    @property
+    def clean(self) -> bool:
+        """True when recovery found nothing to repair."""
+        return not self.swept_tmp and self.torn_bytes_truncated == 0
+
+
+class RecoveryManager:
+    """Rebuilds durable label tables after a crash (or a clean stop)."""
+
+    def __init__(self, fs: FileSystem) -> None:
+        self._fs = fs
+
+    def recover(self, directory: str) -> tuple[DurableLabelTable, RecoveryReport]:
+        """Recover the table stored under ``directory``.
+
+        Idempotent: recovering an already-clean table is a no-op load.
+        A directory with no WAL (a creation that never committed)
+        recovers to an empty table — the create was never acknowledged.
+        """
+        fs = self._fs
+        swept = tuple(remove_stale_tmp(fs, directory))
+
+        snap = snapshot_path(directory)
+        snapshot_present = fs.exists(snap)
+        snapshot_lsn = 0
+        state: dict[int, bytes] = {}
+        if snapshot_present:
+            snapshot_lsn, state = decode_snapshot(fs.read_bytes(snap))
+
+        wal = wal_path(directory)
+        wal_present = fs.exists(wal)
+        base_lsn = snapshot_lsn
+        replayed = 0
+        skipped = 0
+        torn_bytes = 0
+        torn_reason: str | None = None
+        last_lsn = snapshot_lsn
+        if wal_present:
+            blob = fs.read_bytes(wal)
+            replay = read_wal(blob)
+            base_lsn = replay.base_lsn
+            if base_lsn > snapshot_lsn:
+                raise StorageCorruptionError(
+                    f"WAL base LSN {base_lsn} is beyond snapshot LSN "
+                    f"{snapshot_lsn}: mutations are missing"
+                )
+            if not replay.clean:
+                torn_bytes = replay.torn_bytes
+                torn_reason = replay.torn_reason
+                atomic_write(fs, wal, blob[:replay.valid_end])
+            for index, record in enumerate(replay.records):
+                lsn = base_lsn + index + 1
+                if lsn <= snapshot_lsn:
+                    skipped += 1
+                    continue
+                op, vertex, payload = decode_record(record)
+                if op == OP_PUT:
+                    state[vertex] = payload
+                else:
+                    state.pop(vertex, None)
+                replayed += 1
+                last_lsn = lsn
+        else:
+            # creation never committed — start the table fresh
+            atomic_write(fs, wal, encode_wal_header(snapshot_lsn))
+
+        table = DurableLabelTable(
+            fs,
+            directory,
+            state=state,
+            last_lsn=last_lsn,
+            snapshot_lsn=snapshot_lsn,
+        )
+        report = RecoveryReport(
+            directory=directory,
+            swept_tmp=swept,
+            snapshot_present=snapshot_present,
+            snapshot_lsn=snapshot_lsn,
+            wal_present=wal_present,
+            wal_base_lsn=base_lsn,
+            records_replayed=replayed,
+            records_skipped=skipped,
+            torn_bytes_truncated=torn_bytes,
+            torn_reason=torn_reason,
+            recovered_lsn=last_lsn,
+            recovered_vertices=len(state),
+        )
+        return table, report

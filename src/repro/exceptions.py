@@ -31,8 +31,39 @@ class LabelCorruptionError(EncodingError):
     """
 
 
+class DatabaseTruncationError(EncodingError):
+    """Raised when a label database file ends before a record does.
+
+    Distinguishes a *truncated tail* (the classic torn-write artifact:
+    every byte present parses, the file just stops mid-record) from an
+    *in-place corrupted record* (framing intact, checksum wrong — a
+    :class:`LabelCorruptionError`).  ``repro fsck`` reports the two
+    with distinct messages and exit codes.
+    """
+
+
 class RoutingError(ReproError):
     """Raised when packet forwarding cannot make progress."""
+
+
+class DurabilityError(ReproError):
+    """Raised by the crash-consistent durability layer (:mod:`repro.durability`)."""
+
+
+class StorageCorruptionError(DurabilityError):
+    """Raised when a WAL or snapshot fails an integrity check it cannot
+    have failed under the crash model.
+
+    A torn WAL *tail* is expected after a crash and is truncated
+    silently; a bad snapshot or WAL *header* is not survivable damage
+    (both are written atomically) and must surface, never be guessed
+    around.
+    """
+
+
+class SimulatedCrashError(DurabilityError):
+    """Raised by :class:`repro.durability.fs.SimulatedFS` at an armed
+    kill-point: the simulated process dies mid-write/flush/rename."""
 
 
 class ServiceError(ReproError):

@@ -414,6 +414,89 @@ class ReturnAnnotationRule(Rule):
                 )
 
 
+class RawDurableWriteRule(Rule):
+    """RPL009: durable artifacts must go through the atomic-write helper.
+
+    A direct ``open(path, "wb")`` or ``os.rename``/``os.replace`` in a
+    persistence/durability module bypasses the tmp + fsync +
+    ``os.replace`` protocol, so a crash mid-write can leave a torn
+    database or a half-renamed file.  Writable opens and raw renames
+    are only allowed in ``repro/durability/fs.py`` — the single real-
+    filesystem backend; everyone else calls
+    :func:`repro.durability.atomic.atomic_write` (or an injected
+    :class:`~repro.durability.fs.FileSystem`).
+    """
+
+    rule_id = "RPL009"
+    summary = "raw durable write/rename outside the atomic-write helper"
+    contract = "crash-consistent durable artifacts"
+
+    _SCOPE_TOKENS = ("persistence", "durability")
+    _RENAMES = {"rename", "replace", "renames"}
+    _WRITE_MODE_CHARS = set("wax+")
+
+    def check(self, source: SourceFile) -> Iterator[Finding]:
+        """Flag writable ``open`` and ``os.rename``/``os.replace`` calls."""
+        if not source.logical_name_contains(*self._SCOPE_TOKENS):
+            return
+        if source.logical_endswith("durability/fs.py"):
+            return  # the one sanctioned raw-I/O backend
+        for node in ast.walk(source.tree):
+            if isinstance(node, ast.Call):
+                yield from self._check_call(source, node)
+            elif isinstance(node, ast.ImportFrom):
+                if node.level == 0 and node.module == "os":
+                    for alias in node.names:
+                        if alias.name in self._RENAMES:
+                            yield self.finding(
+                                source,
+                                node,
+                                f"import of os.{alias.name} in a "
+                                "persistence module; install durable files "
+                                "via repro.durability.atomic.atomic_write",
+                            )
+
+    def _check_call(
+        self, source: SourceFile, node: ast.Call
+    ) -> Iterator[Finding]:
+        func = node.func
+        if isinstance(func, ast.Name) and func.id == "open":
+            mode = self._open_mode(node)
+            if mode is not None and self._WRITE_MODE_CHARS & set(mode):
+                yield self.finding(
+                    source,
+                    node,
+                    f"open(..., {mode!r}) writes a durable artifact "
+                    "in place; a crash here leaves a torn file — use "
+                    "repro.durability.atomic.atomic_write (tmp + fsync + "
+                    "replace)",
+                )
+        elif (
+            isinstance(func, ast.Attribute)
+            and func.attr in self._RENAMES
+            and isinstance(func.value, ast.Name)
+            and func.value.id == "os"
+        ):
+            yield self.finding(
+                source,
+                node,
+                f"raw os.{func.attr}() in a persistence module bypasses "
+                "the atomic-write protocol; use "
+                "repro.durability.atomic.atomic_write",
+            )
+
+    @staticmethod
+    def _open_mode(node: ast.Call) -> str | None:
+        if len(node.args) >= 2 and isinstance(node.args[1], ast.Constant):
+            if isinstance(node.args[1].value, str):
+                return node.args[1].value
+        for keyword in node.keywords:
+            if keyword.arg == "mode" and isinstance(keyword.value, ast.Constant):
+                if isinstance(keyword.value.value, str):
+                    return keyword.value.value
+        return None
+
+
 #: every rule class, in catalogue order.
 ALL_RULES: tuple[type[Rule], ...] = (
     UnseededRandomnessRule,
@@ -424,6 +507,7 @@ ALL_RULES: tuple[type[Rule], ...] = (
     AssertValidationRule,
     UnsortedSerializationRule,
     ReturnAnnotationRule,
+    RawDurableWriteRule,
 )
 
 

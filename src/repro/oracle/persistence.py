@@ -41,7 +41,13 @@ import struct
 import zlib
 from typing import BinaryIO, Iterable
 
-from repro.exceptions import EncodingError, LabelCorruptionError, QueryError
+from repro.durability.atomic import atomic_write_path
+from repro.exceptions import (
+    DatabaseTruncationError,
+    EncodingError,
+    LabelCorruptionError,
+    QueryError,
+)
 from repro.labeling.decoder import (
     FaultSet,
     QueryResult,
@@ -76,8 +82,11 @@ def save_labels(scheme, path_or_file, version: int = DEFAULT_VERSION) -> int:
     labels = _collect_labels(scheme)
     if hasattr(path_or_file, "write"):
         return _write(path_or_file, labels, scheme, version)
-    with open(path_or_file, "wb") as handle:
-        return _write(handle, labels, scheme, version)
+    # a crash mid-save must never leave a torn database at the target
+    # path: stage in memory, then install via tmp + fsync + replace
+    buffer = io.BytesIO()
+    _write(buffer, labels, scheme, version)
+    return atomic_write_path(str(path_or_file), buffer.getvalue())
 
 
 def _collect_labels(scheme) -> list:
@@ -128,7 +137,7 @@ class _Cursor:
 
     def take(self, size: int, what: str) -> bytes:
         if size < 0 or self.pos + size > len(self.blob):
-            raise EncodingError(
+            raise DatabaseTruncationError(
                 f"truncated label database: {what} needs {size} bytes at "
                 f"offset {self.pos}, only {self.remaining()} available"
             )

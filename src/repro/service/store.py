@@ -15,8 +15,13 @@ that could decode into a silently wrong distance.
 
 Fault injection is part of the store's contract: shards can be marked
 down, slow (higher response latency), or flaky (seeded probabilistic
-failures), and recovered back to pristine health.  All latencies are
-virtual milliseconds (see :mod:`repro.service.clock`); nothing sleeps.
+failures), and recovered back to pristine health.  With a durability
+layer attached (:meth:`ShardedLabelStore.attach_durability`), shards
+additionally persist their records through the crash-consistent WAL +
+snapshot machinery of :mod:`repro.durability`, and ``shard_crash`` /
+``shard_restart`` events model a real process death followed by a real
+reload-from-disk through recovery.  All latencies are virtual
+milliseconds (see :mod:`repro.service.clock`); nothing sleeps.
 """
 
 from __future__ import annotations
@@ -24,7 +29,10 @@ from __future__ import annotations
 import struct
 import zlib
 from dataclasses import dataclass, replace
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
+
+if TYPE_CHECKING:
+    from repro.durability.recovery import RecoveryReport
 
 from repro.exceptions import LabelCorruptionError, QueryError, ServiceError
 from repro.util.rng import RngLike, make_rng
@@ -38,6 +46,8 @@ SHARD_EVENT_KINDS = frozenset({
     "shard_slow",
     "shard_flaky",
     "shard_corrupt",
+    "shard_crash",
+    "shard_restart",
 })
 
 
@@ -60,12 +70,14 @@ class ShardHealth:
     latency_ms: float = 1.0
     flaky_probability: float = 0.0
     corrupted_records: int = 0
+    crashed: bool = False
 
     @property
     def healthy(self) -> bool:
-        """No outage, flakiness or corruption (slowness not counted)."""
+        """No outage, crash, flakiness or corruption (slowness not counted)."""
         return (
             not self.down
+            and not self.crashed
             and self.flaky_probability == 0.0
             and self.corrupted_records == 0
         )
@@ -113,6 +125,10 @@ class ShardedLabelStore:
         self._health = [
             ShardHealth(latency_ms=base_latency_ms) for _ in range(num_shards)
         ]
+        # crash-consistent persistence: attached via attach_durability()
+        self._fs = None
+        self._durability_root: str | None = None
+        self._tables: list = []
 
     # -- construction -------------------------------------------------------
 
@@ -201,6 +217,11 @@ class ShardedLabelStore:
         """
         self._check_shard(shard)
         health = self._health[shard]
+        if health.crashed:
+            # process is dead: fails fast until a restart recovers it
+            return FetchResult(
+                ok=False, latency_ms=self._fail_fast_latency_ms, error="crashed"
+            )
         if health.down:
             # connection refused: fails fast, does not burn the deadline
             return FetchResult(
@@ -227,6 +248,87 @@ class ShardedLabelStore:
         if zlib.crc32(payload) != stored_crc:
             return FetchResult(ok=False, latency_ms=latency, error="corrupt")
         return FetchResult(ok=True, latency_ms=latency, data=payload)
+
+    # -- durability ---------------------------------------------------------
+
+    @property
+    def durable(self) -> bool:
+        """Whether shards persist through the durability layer."""
+        return self._durability_root is not None
+
+    def attach_durability(self, fs, root: str) -> None:
+        """Persist every shard through the crash-consistent layer.
+
+        Each shard gets a :class:`~repro.durability.table.DurableLabelTable`
+        under ``root/shard-<i>`` seeded with its pristine payloads and
+        compacted into a snapshot.  From here on ``shard_crash`` /
+        ``shard_restart`` events model a real process death and a real
+        reload-from-disk through :class:`RecoveryManager` — and
+        :meth:`recover` becomes a genuine restart rather than an
+        in-memory flag flip.  Quarantined labels are *absent* from the
+        durable table and come back poisoned, exactly as ingested.
+        """
+        from repro.durability.table import DurableLabelTable
+
+        tables = []
+        for shard in range(self._num_shards):
+            table = DurableLabelTable.create(fs, f"{root}/shard-{shard}")
+            pristine = self._pristine[shard]
+            for vertex in sorted(pristine):
+                record = pristine[vertex]
+                if record is not None:
+                    table.put(vertex, record[4:])
+            table.compact()
+            tables.append(table)
+        self._fs = fs
+        self._durability_root = root
+        self._tables = tables
+
+    def crash(self, shard: int) -> None:
+        """Kill a shard's process: its in-memory records are gone.
+
+        Requires an attached durability layer — a crash only makes
+        sense when there is a disk to come back from.  Fetches fail
+        fast with ``"crashed"`` until :meth:`restart`.
+        """
+        self._check_shard(shard)
+        self._require_durability("crash")
+        self._records[shard] = {}
+        self._health[shard] = replace(self._health[shard], crashed=True)
+
+    def restart(self, shard: int) -> "RecoveryReport":
+        """Restart a shard from disk through :class:`RecoveryManager`.
+
+        Rebuilds the shard's in-memory records from the recovered
+        durable table — vertices missing from it come back as poisoned
+        (quarantined) records — and resets injected faults, since the
+        restarted process starts with fresh state.  Returns the
+        :class:`~repro.durability.recovery.RecoveryReport`.
+        """
+        from repro.durability.recovery import RecoveryManager
+
+        self._check_shard(shard)
+        self._require_durability("restart")
+        directory = f"{self._durability_root}/shard-{shard}"
+        table, report = RecoveryManager(self._fs).recover(directory)
+        records: dict[int, bytes | None] = {}
+        for vertex in sorted(self._pristine[shard]):
+            payload = table.get(vertex)
+            records[vertex] = (
+                None if payload is None
+                else _U32.pack(zlib.crc32(payload)) + payload
+            )
+        self._records[shard] = records
+        self._tables[shard] = table
+        self._health[shard] = ShardHealth(latency_ms=self._base_latency_ms)
+        return report
+
+    def _require_durability(self, action: str) -> None:
+        if not self.durable:
+            raise ServiceError(
+                f"cannot {action} a shard without an attached durability "
+                f"layer (call attach_durability first)"
+            )
 
     # -- fault injection ----------------------------------------------------
 
@@ -289,8 +391,18 @@ class ShardedLabelStore:
         return len(hit)
 
     def recover(self, shard: int) -> None:
-        """Restore a shard to pristine health and pristine bytes."""
+        """Restore a shard to clean health and clean label bytes.
+
+        With a durability layer attached this is a genuine
+        :meth:`restart` — the records are reloaded from disk through
+        recovery, not flipped back in memory.  Without one it falls
+        back to restoring the pristine in-memory copy; either way
+        injected corruption, latency and flakiness are all cleared.
+        """
         self._check_shard(shard)
+        if self.durable:
+            self.restart(shard)
+            return
         self._records[shard] = dict(self._pristine[shard])
         self._health[shard] = ShardHealth(latency_ms=self._base_latency_ms)
 
@@ -314,3 +426,7 @@ class ShardedLabelStore:
             self.set_flaky(event.shard, event.probability)
         elif kind == "shard_corrupt":
             self.corrupt(event.shard, fraction=event.probability, rng=rng)
+        elif kind == "shard_crash":
+            self.crash(event.shard)
+        elif kind == "shard_restart":
+            self.restart(event.shard)

@@ -1,0 +1,15 @@
+"""Fixture: raw durable writes bypassing the atomic protocol (RPL009)."""
+
+import os
+
+
+def save_blob(path: str, blob: bytes) -> int:
+    """Writes the artifact in place — a crash here leaves a torn file."""
+    with open(path, "wb") as handle:
+        handle.write(blob)
+    return len(blob)
+
+
+def install(src: str, dst: str) -> None:
+    """Raw rename outside the atomic-write helper."""
+    os.rename(src, dst)

@@ -1,0 +1,14 @@
+"""Fixture: durable writes through the atomic helper (RPL009 clean)."""
+
+from repro.durability.atomic import atomic_write_path
+
+
+def save_blob(path: str, blob: bytes) -> int:
+    """Installs atomically: tmp + fsync + replace."""
+    return atomic_write_path(path, blob)
+
+
+def read_blob(path: str) -> bytes:
+    """Read-only opens stay legal."""
+    with open(path, "rb") as handle:
+        return handle.read()

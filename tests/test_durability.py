@@ -1,0 +1,395 @@
+"""Tests for the crash-consistent durability layer.
+
+Covers the simulated filesystem's crash semantics (volatile vs durable
+bytes, torn writes, partial flushes, lost renames), the atomic-write
+primitive, WAL framing (property-style round trips, zero-record logs,
+frame-boundary endings, every truncation offset of the final frame),
+snapshots, the durable table, and restart recovery.
+"""
+
+import pytest
+
+from repro.durability import (
+    CRASH_MODES,
+    DurableLabelTable,
+    RealFS,
+    RecoveryManager,
+    SimulatedFS,
+    atomic_write,
+    decode_snapshot,
+    encode_frame,
+    encode_snapshot,
+    encode_wal_header,
+    read_wal,
+    remove_stale_tmp,
+)
+from repro.durability.table import snapshot_path, wal_path
+from repro.durability.wal import FRAME_HEADER_SIZE, WAL_HEADER_SIZE
+from repro.exceptions import (
+    DurabilityError,
+    SimulatedCrashError,
+    StorageCorruptionError,
+)
+from repro.util.rng import make_rng
+
+
+class TestSimulatedFS:
+    def test_written_bytes_are_volatile_until_fsync(self):
+        fs = SimulatedFS()
+        fs.write_bytes("f", b"hello")
+        assert fs.read_bytes("f") == b"hello"
+        fs.crash()
+        assert not fs.exists("f")  # never synced: vanishes
+
+    def test_fsync_makes_bytes_durable(self):
+        fs = SimulatedFS()
+        fs.write_bytes("f", b"hello")
+        fs.fsync("f")
+        fs.crash()
+        assert fs.read_bytes("f") == b"hello"
+
+    def test_crash_reverts_to_last_synced_content(self):
+        fs = SimulatedFS()
+        fs.write_bytes("f", b"old")
+        fs.fsync("f")
+        fs.write_bytes("f", b"new-and-longer")
+        fs.crash()
+        assert fs.read_bytes("f") == b"old"
+
+    def test_torn_write_leaves_strict_prefix(self):
+        for seed in range(10):
+            fs = SimulatedFS(seed=seed)
+            fs.arm_crash(0, "torn_write")
+            with pytest.raises(SimulatedCrashError):
+                fs.write_bytes("f", b"0123456789")
+            fs.crash()
+            if fs.exists("f"):
+                content = fs.read_bytes("f")
+                assert b"0123456789".startswith(content)
+                assert len(content) < 10  # never the full write
+
+    def test_torn_append_extends_with_durable_prefix(self):
+        fs = SimulatedFS(seed=3)
+        fs.append_bytes("f", b"base")
+        fs.fsync("f")
+        fs.arm_crash(fs.op_count, "torn_write")
+        with pytest.raises(SimulatedCrashError):
+            fs.append_bytes("f", b"XYZW")
+        fs.crash()
+        content = fs.read_bytes("f")
+        assert content.startswith(b"base")
+        assert len(content) < len(b"baseXYZW")
+
+    def test_partial_flush_persists_prefix_of_delta(self):
+        fs = SimulatedFS(seed=7)
+        fs.append_bytes("f", b"AA")
+        fs.fsync("f")
+        fs.append_bytes("f", b"BBBB")
+        fs.arm_crash(fs.op_count, "partial_flush")
+        with pytest.raises(SimulatedCrashError):
+            fs.fsync("f")
+        fs.crash()
+        content = fs.read_bytes("f")
+        assert content.startswith(b"AA")
+        assert b"AABBBB".startswith(content)
+
+    def test_lost_rename_never_lands(self):
+        fs = SimulatedFS()
+        fs.write_bytes("dst", b"old")
+        fs.fsync("dst")
+        fs.write_bytes("src", b"new")
+        fs.fsync("src")
+        fs.arm_crash(fs.op_count, "lost_rename")
+        with pytest.raises(SimulatedCrashError):
+            fs.replace("src", "dst")
+        fs.crash()
+        assert fs.read_bytes("dst") == b"old"
+
+    def test_crash_just_after_rename_lands(self):
+        """Non-lost modes at a replace kill-point model crash-after-commit."""
+        fs = SimulatedFS()
+        fs.write_bytes("dst", b"old")
+        fs.fsync("dst")
+        fs.write_bytes("src", b"new")
+        fs.fsync("src")
+        fs.arm_crash(fs.op_count, "torn_write")
+        with pytest.raises(SimulatedCrashError):
+            fs.replace("src", "dst")
+        fs.crash()
+        assert fs.read_bytes("dst") == b"new"
+        assert not fs.exists("src")
+
+    def test_unarmed_replace_is_atomic(self):
+        fs = SimulatedFS()
+        fs.write_bytes("src", b"data")
+        fs.fsync("src")
+        fs.replace("src", "dst")
+        assert not fs.exists("src")
+        assert fs.read_bytes("dst") == b"data"
+
+    def test_every_op_counts_a_kill_point(self):
+        fs = SimulatedFS()
+        fs.write_bytes("a", b"1")
+        fs.append_bytes("a", b"2")
+        fs.fsync("a")
+        fs.replace("a", "b")
+        assert fs.op_count == 4
+        assert [op for op, _ in fs.op_log] == [
+            "write", "append", "fsync", "replace"
+        ]
+
+    def test_arm_validates_inputs(self):
+        fs = SimulatedFS()
+        with pytest.raises(DurabilityError):
+            fs.arm_crash(0, "meteor_strike")
+        with pytest.raises(DurabilityError):
+            fs.arm_crash(-1, "torn_write")
+
+    def test_listdir_is_sorted_and_scoped(self):
+        fs = SimulatedFS()
+        for name in ("d/b", "d/a", "d/sub/c", "other"):
+            fs.write_bytes(name, b"x")
+        assert fs.listdir("d") == ["a", "b"]
+
+
+class TestAtomicWrite:
+    def test_installs_new_content(self):
+        fs = SimulatedFS()
+        atomic_write(fs, "f", b"payload")
+        fs.crash()
+        assert fs.read_bytes("f") == b"payload"
+
+    def test_crash_at_every_kill_point_leaves_old_or_new(self):
+        for mode in CRASH_MODES:
+            for kill in range(3):  # write, fsync, replace
+                fs = SimulatedFS(seed=kill)
+                atomic_write(fs, "f", b"old")
+                fs.arm_crash(fs.op_count + kill, mode)
+                with pytest.raises(SimulatedCrashError):
+                    atomic_write(fs, "f", b"new")
+                fs.crash()
+                assert fs.read_bytes("f") in (b"old", b"new")
+
+    def test_stale_tmp_swept(self):
+        fs = SimulatedFS()
+        fs.write_bytes("d/f.tmp", b"junk")
+        fs.fsync("d/f.tmp")
+        fs.write_bytes("d/keep", b"ok")
+        fs.fsync("d/keep")
+        assert remove_stale_tmp(fs, "d") == ["f.tmp"]
+        assert fs.listdir("d") == ["keep"]
+
+
+def _random_records(rng, count):
+    return [
+        bytes(rng.randrange(256) for _ in range(rng.randrange(0, 40)))
+        for _ in range(count)
+    ]
+
+
+class TestWalFraming:
+    def test_round_trip_random_record_sequences(self):
+        """Property: encode-then-read returns the records exactly."""
+        for seed in range(20):
+            rng = make_rng(seed)
+            base = rng.randrange(100)
+            records = _random_records(rng, rng.randrange(1, 12))
+            blob = encode_wal_header(base) + b"".join(
+                encode_frame(r) for r in records
+            )
+            replay = read_wal(blob)
+            assert replay.base_lsn == base
+            assert list(replay.records) == records
+            assert replay.clean
+            assert replay.last_lsn == base + len(records)
+
+    def test_zero_record_log(self):
+        replay = read_wal(encode_wal_header(7))
+        assert replay.base_lsn == 7
+        assert replay.records == ()
+        assert replay.clean
+        assert replay.last_lsn == 7
+
+    def test_log_ending_exactly_at_frame_boundary(self):
+        blob = encode_wal_header(0) + encode_frame(b"abc") + encode_frame(b"")
+        replay = read_wal(blob)
+        assert replay.clean
+        assert replay.valid_end == len(blob)
+        assert list(replay.records) == [b"abc", b""]
+
+    def test_every_truncation_offset_of_final_frame(self):
+        """Cutting anywhere inside the last frame loses only that frame."""
+        records = [b"first-record", b"second", b"the-final-record"]
+        frames = [encode_frame(r) for r in records]
+        prefix = encode_wal_header(3) + frames[0] + frames[1]
+        final = frames[2]
+        for cut in range(len(final)):
+            replay = read_wal(prefix + final[:cut])
+            assert list(replay.records) == records[:2], f"cut={cut}"
+            assert replay.valid_end == len(prefix)
+            if cut > 0:
+                assert not replay.clean
+                assert replay.torn_bytes == cut
+                assert replay.torn_reason is not None
+        # the full final frame parses again
+        assert list(read_wal(prefix + final).records) == records
+
+    def test_corrupt_frame_stops_replay(self):
+        frames = [encode_frame(b"keep"), encode_frame(b"damaged")]
+        blob = bytearray(encode_wal_header(0) + frames[0] + frames[1])
+        blob[-1] ^= 0xFF  # flip a payload byte of the last frame
+        replay = read_wal(bytes(blob))
+        assert list(replay.records) == [b"keep"]
+        assert not replay.clean
+        assert "checksum" in replay.torn_reason
+
+    def test_bad_header_is_corruption_not_torn_tail(self):
+        with pytest.raises(StorageCorruptionError):
+            read_wal(b"NOPE" + bytes(WAL_HEADER_SIZE - 4))
+        damaged = bytearray(encode_wal_header(0))
+        damaged[6] ^= 0x01  # base LSN byte: header CRC must catch it
+        with pytest.raises(StorageCorruptionError):
+            read_wal(bytes(damaged))
+        with pytest.raises(StorageCorruptionError):
+            read_wal(encode_wal_header(0)[: WAL_HEADER_SIZE - 2])
+
+    def test_negative_base_lsn_rejected(self):
+        with pytest.raises(DurabilityError):
+            encode_wal_header(-1)
+
+    def test_frame_header_size_is_stable(self):
+        assert len(encode_frame(b"")) == FRAME_HEADER_SIZE
+
+
+class TestSnapshot:
+    def test_round_trip(self):
+        entries = {3: b"three", 1: b"one", 2: b""}
+        lsn, decoded = decode_snapshot(encode_snapshot(17, entries))
+        assert lsn == 17
+        assert decoded == entries
+
+    def test_equal_states_give_equal_bytes(self):
+        a = encode_snapshot(5, {2: b"x", 9: b"y"})
+        b = encode_snapshot(5, dict(reversed(list({2: b"x", 9: b"y"}.items()))))
+        assert a == b
+
+    def test_any_corruption_raises(self):
+        blob = bytearray(encode_snapshot(4, {1: b"abc", 2: b"defg"}))
+        for index in range(len(blob)):
+            damaged = bytearray(blob)
+            damaged[index] ^= 0x55
+            with pytest.raises(StorageCorruptionError):
+                decode_snapshot(bytes(damaged))
+
+    def test_truncation_raises(self):
+        blob = encode_snapshot(4, {1: b"abc"})
+        for cut in range(len(blob)):
+            with pytest.raises(StorageCorruptionError):
+                decode_snapshot(blob[:cut])
+
+
+class TestDurableTable:
+    def _reopen(self, fs):
+        table, report = RecoveryManager(fs).recover("t")
+        return table, report
+
+    def test_put_delete_state(self):
+        fs = SimulatedFS()
+        table = DurableLabelTable.create(fs, "t")
+        assert table.put(1, b"one") == 1
+        assert table.put(2, b"two") == 2
+        assert table.delete(1) == 3
+        assert table.state() == {2: b"two"}
+        assert table.vertices() == [2]
+        assert table.get(1) is None
+        assert table.last_lsn == 3
+
+    def test_reopen_replays_wal(self):
+        fs = SimulatedFS()
+        table = DurableLabelTable.create(fs, "t")
+        table.put(1, b"one")
+        table.put(2, b"two")
+        table.delete(1)
+        reopened, report = self._reopen(fs)
+        assert reopened.state() == {2: b"two"}
+        assert reopened.last_lsn == 3
+        assert report.records_replayed == 3
+        assert report.clean
+
+    def test_compact_then_reopen(self):
+        fs = SimulatedFS()
+        table = DurableLabelTable.create(fs, "t")
+        table.put(1, b"one")
+        table.put(2, b"two")
+        assert table.compact() == 2
+        table.put(3, b"three")
+        reopened, report = self._reopen(fs)
+        assert reopened.state() == {1: b"one", 2: b"two", 3: b"three"}
+        assert report.snapshot_present
+        assert report.snapshot_lsn == 2
+        assert report.records_replayed == 1
+
+    def test_compaction_crash_window_is_replay_safe(self):
+        """Snapshot installed but WAL not yet reset: nothing applies twice."""
+        fs = SimulatedFS()
+        table = DurableLabelTable.create(fs, "t")
+        table.put(1, b"one")
+        table.delete(1)
+        table.put(1, b"one-again")
+        # install the snapshot by hand, leaving the old WAL in place
+        fs.write_bytes(
+            snapshot_path("t"), encode_snapshot(table.last_lsn, table.state())
+        )
+        fs.fsync(snapshot_path("t"))
+        reopened, report = self._reopen(fs)
+        assert reopened.state() == {1: b"one-again"}
+        assert report.records_skipped == 3
+        assert report.records_replayed == 0
+
+    def test_torn_wal_tail_truncated_on_recovery(self):
+        fs = SimulatedFS()
+        table = DurableLabelTable.create(fs, "t")
+        table.put(1, b"one")
+        table.put(2, b"two")
+        path = wal_path("t")
+        blob = fs.read_bytes(path)
+        fs.write_bytes(path, blob[:-3])  # tear the final frame
+        fs.fsync(path)
+        reopened, report = self._reopen(fs)
+        assert reopened.state() == {1: b"one"}
+        assert report.torn_bytes_truncated > 0
+        assert report.torn_reason is not None
+        # the repair is durable: a second recovery is clean
+        _, second = self._reopen(fs)
+        assert second.clean
+
+    def test_missing_wal_recovers_empty(self):
+        fs = SimulatedFS()
+        table, report = self._reopen(fs)
+        assert table.state() == {}
+        assert not report.wal_present
+        # and the fresh WAL is durable
+        reopened, second = self._reopen(fs)
+        assert second.wal_present
+        assert reopened.state() == {}
+
+    def test_wal_base_beyond_snapshot_is_corruption(self):
+        fs = SimulatedFS()
+        fs.write_bytes(snapshot_path("t"), encode_snapshot(2, {1: b"x"}))
+        fs.fsync(snapshot_path("t"))
+        fs.write_bytes(wal_path("t"), encode_wal_header(9))
+        fs.fsync(wal_path("t"))
+        with pytest.raises(StorageCorruptionError):
+            RecoveryManager(fs).recover("t")
+
+    def test_works_on_the_real_filesystem(self, tmp_path):
+        fs = RealFS()
+        root = str(tmp_path / "tables" / "t")
+        table = DurableLabelTable.create(fs, root)
+        table.put(4, b"four")
+        table.put(5, b"five")
+        table.compact()
+        table.delete(4)
+        reopened, report = RecoveryManager(fs).recover(root)
+        assert reopened.state() == {5: b"five"}
+        assert report.snapshot_present

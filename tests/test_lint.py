@@ -36,6 +36,7 @@ CASES = {
     "RPL006": ("rpl006", "src/repro/graphs/checks.py"),
     "RPL007": ("rpl007", "src/repro/service/store_fixture.py"),
     "RPL008": ("rpl008", "src/repro/labeling/api.py"),
+    "RPL009": ("rpl009", "src/repro/oracle/persistence_fixture.py"),
 }
 
 ENGINE = LintEngine()
@@ -75,6 +76,19 @@ def test_rpl006_ignores_scripts_outside_library():
     text = (FIXTURES / "rpl006_bad.py").read_text(encoding="utf-8")
     findings = ENGINE.check_source(text, logical="tools/some_script.py")
     assert [f.rule for f in findings] == []
+
+
+def test_rpl009_allowed_in_fs_backend():
+    """The RealFS backend is the one sanctioned raw-I/O module."""
+    text = (FIXTURES / "rpl009_bad.py").read_text(encoding="utf-8")
+    findings = ENGINE.check_source(text, logical="src/repro/durability/fs.py")
+    assert findings == [], [f.render() for f in findings]
+
+
+def test_rpl009_ignores_modules_outside_persistence_scope():
+    text = (FIXTURES / "rpl009_bad.py").read_text(encoding="utf-8")
+    findings = ENGINE.check_source(text, logical="src/repro/graphs/builders.py")
+    assert findings == [], [f.render() for f in findings]
 
 
 # -- suppressions ------------------------------------------------------------

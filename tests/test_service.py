@@ -136,6 +136,100 @@ class TestShardedLabelStore:
         with pytest.raises(ServiceError):
             ShardedLabelStore([])
 
+    def test_recover_all_resets_latency_and_flakiness(self, grid_setup):
+        """Recovery clears every injected condition, not just outages."""
+        _, _, labels = grid_setup
+        store = make_store(labels)
+        store.set_slow(0, latency_ms=80.0)
+        store.set_flaky(1, probability=0.9)
+        store.corrupt(2, fraction=1.0, rng=7)
+        store.set_down(3)
+        store.recover_all()
+        assert store.all_healthy()
+        for shard in range(store.num_shards):
+            health = store.health(shard)
+            assert health.latency_ms == store.base_latency_ms
+            assert health.flaky_probability == 0.0
+            assert health.corrupted_records == 0
+        vertex = next(v for v in range(len(labels)) if 2 in store.replicas(v))
+        assert store.fetch(2, vertex).data == labels[vertex]
+
+
+class TestDurableStore:
+    """shard_crash / shard_restart: genuine reload-from-disk recovery."""
+
+    def make_durable_store(self, labels, **kwargs):
+        from repro.durability import SimulatedFS
+
+        store = make_store(labels, **kwargs)
+        store.attach_durability(SimulatedFS(seed=9), "store-test")
+        return store
+
+    def test_crash_requires_durability(self, grid_setup):
+        _, _, labels = grid_setup
+        store = make_store(labels)
+        with pytest.raises(ServiceError):
+            store.crash(0)
+        with pytest.raises(ServiceError):
+            store.restart(0)
+
+    def test_crashed_shard_fails_fast(self, grid_setup):
+        _, _, labels = grid_setup
+        store = self.make_durable_store(labels)
+        store.crash(0)
+        assert not store.health(0).healthy
+        assert store.health(0).crashed
+        vertex = next(v for v in range(len(labels)) if 0 in store.replicas(v))
+        result = store.fetch(0, vertex)
+        assert not result.ok
+        assert result.error == "crashed"
+        assert result.latency_ms < store.base_latency_ms
+
+    def test_restart_reloads_records_from_disk(self, grid_setup):
+        _, _, labels = grid_setup
+        store = self.make_durable_store(labels)
+        store.crash(2)
+        report = store.restart(2)
+        assert store.health(2).healthy
+        assert report.recovered_vertices > 0
+        for vertex in range(len(labels)):
+            if 2 in store.replicas(vertex):
+                assert store.fetch(2, vertex).data == labels[vertex]
+
+    def test_restart_discards_injected_corruption(self, grid_setup):
+        """A restart serves the durable (clean) bytes, not the damaged ones."""
+        _, _, labels = grid_setup
+        store = self.make_durable_store(labels)
+        store.corrupt(1, fraction=1.0, rng=3)
+        store.crash(1)
+        store.restart(1)
+        assert store.health(1).healthy
+        for vertex in range(len(labels)):
+            if 1 in store.replicas(vertex):
+                assert store.fetch(1, vertex).data == labels[vertex]
+
+    def test_recover_routes_through_restart_when_durable(self, grid_setup):
+        _, _, labels = grid_setup
+        store = self.make_durable_store(labels)
+        store.corrupt(0, fraction=1.0, rng=5)
+        store.recover(0)
+        assert store.health(0).healthy
+        vertex = next(v for v in range(len(labels)) if 0 in store.replicas(v))
+        assert store.fetch(0, vertex).data == labels[vertex]
+
+    def test_quarantined_labels_stay_poisoned_across_restart(self, grid_setup):
+        """Untrustworthy-at-ingest labels must not resurrect on restart."""
+        _, _, labels = grid_setup
+        poisoned = list(labels)
+        poisoned[3] = None
+        store = self.make_durable_store(poisoned)
+        shard = store.replicas(3)[0]
+        store.crash(shard)
+        store.restart(shard)
+        result = store.fetch(shard, 3)
+        assert not result.ok
+        assert result.error == "quarantined"
+
 
 class TestCircuitBreaker:
     def test_trips_after_threshold_and_recovers(self):

@@ -95,6 +95,22 @@ class TestShardEventDSL:
         assert tail[0].kind == "advance"
         assert all(e.kind == "query" for e in tail[1:])
 
+    def test_random_plans_exercise_crash_and_restart(self):
+        graph = grid_graph(4, 4)
+        kinds: set[str] = set()
+        for seed in range(8):
+            plan = random_shard_plan(graph, seed=seed, num_events=40)
+            kinds |= {e.kind for e in plan}
+            crashed: set[int] = set()
+            for event in plan:
+                if event.kind == "shard_crash":
+                    crashed.add(event.shard)
+                elif event.kind in ("shard_restart", "shard_recover"):
+                    crashed.discard(event.shard)
+            assert not crashed  # every crash is eventually restarted
+        assert "shard_crash" in kinds
+        assert "shard_restart" in kinds
+
 
 class TestServiceChaosRunner:
     def test_scripted_outage_window(self):
@@ -119,6 +135,52 @@ class TestServiceChaosRunner:
         assert report.exact_answers >= 2 + runner._final_probes
         assert report.degraded_answers == 1
         assert runner.service.store.all_healthy()
+
+    def test_scripted_crash_restart_window(self):
+        """Crash both replicas of a vertex, restart, and demand exact answers.
+
+        A restart forces a genuine reload from the simulated disk: the
+        runner attaches a :class:`SimulatedFS` durability root, so the
+        shard's labels round-trip through the WAL + snapshot on the way
+        back, and post-restart probes must match the pristine answers.
+        """
+        graph = grid_graph(4, 4)
+        plan = (
+            FaultPlan(seed=6, name="scripted crash/restart")
+            .query(0, 15)
+            .shard_crash(0)
+            .shard_crash(1)
+            .query(0, 15)  # vertex 0 lives on shards {0, 1}: degraded
+            .shard_restart(0)
+            .shard_restart(1)
+            .advance(600.0)
+            .query(0, 15)
+            .query(3, 12)
+        )
+        runner = ServiceChaosRunner(
+            graph, plan, num_shards=4, replication=2
+        )
+        report = runner.run()
+        assert report.ok, report.violations
+        assert report.exact_answers >= 3 + runner._final_probes
+        assert report.degraded_answers == 1
+        assert runner.service.store.all_healthy()
+
+    def test_crash_then_recover_event_requires_restart_semantics(self):
+        """A mixed schedule interleaving crashes with classic faults."""
+        graph = cycle_graph(12)
+        plan = (
+            FaultPlan(seed=7, name="mixed crash + slow")
+            .shard_slow(2, latency_ms=40.0)
+            .shard_crash(0)
+            .query(1, 7)
+            .shard_restart(0)
+            .shard_recover(2)
+            .advance(600.0)
+            .query(1, 7)
+        )
+        report = run_service_plan(graph, plan, num_shards=3, replication=2)
+        assert report.ok, report.violations
 
     def test_smoke_schedules_zero_violations(self):
         for seed in (1, 2):
