@@ -1,0 +1,59 @@
+"""Observability overhead budget: tracing must stay under 10%.
+
+The decode pipeline counts ops in local integers and writes them to
+spans once per query, so the traced path should cost within a few
+percent of the untraced one.  This benchmark measures that ratio on
+the seeded ``repro bench`` workload and **asserts the < 10 % budget**
+— a regression here means instrumentation crept into a hot loop.
+
+Run with::
+
+    pytest benchmarks/bench_obs.py --benchmark-only -s
+
+The same measurement backs ``repro bench --emit BENCH_5.json``.
+"""
+
+from __future__ import annotations
+
+from repro.obs.bench import build_workload, measure_overhead, run_queries
+from repro.obs.trace import SPAN_DIJKSTRA, Tracer
+
+OVERHEAD_BUDGET = 1.10
+
+
+def bench_decode_overhead(benchmark):
+    measured = benchmark.pedantic(
+        measure_overhead,
+        kwargs={"num_queries": 120, "repeats": 5},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(
+        f"plain {measured['plain_ms_median']} ms, "
+        f"traced {measured['traced_ms_median']} ms, "
+        f"ratio {measured['overhead_ratio']}"
+    )
+    assert measured["overhead_ratio"] < OVERHEAD_BUDGET, (
+        f"tracing overhead {measured['overhead_ratio']:.3f}x exceeds the "
+        f"{OVERHEAD_BUDGET}x budget"
+    )
+
+
+def bench_traced_batch(benchmark):
+    """Wall-clock of one fully traced batch, plus its op totals."""
+    labels, queries = build_workload(num_queries=120)
+    tracer = Tracer()
+
+    def traced() -> int:
+        tracer.reset()
+        return run_queries(labels, queries, tracer=tracer)
+
+    count = benchmark(traced)
+    assert count == 120
+    print()
+    print(
+        f"nodes_settled {int(tracer.attr_total(SPAN_DIJKSTRA, 'nodes_settled'))}, "
+        f"edges_scanned {int(tracer.attr_total(SPAN_DIJKSTRA, 'edges_scanned'))}, "
+        f"heap_updates {int(tracer.attr_total(SPAN_DIJKSTRA, 'heap_updates'))}"
+    )

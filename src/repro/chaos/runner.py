@@ -32,12 +32,17 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, field
 
+from typing import TYPE_CHECKING
+
 from repro.chaos.plan import ChaosEvent, FaultPlan
 from repro.exceptions import QueryError, RoutingError
 from repro.graphs.graph import Graph
 from repro.graphs.traversal import bfs_distances_avoiding
 from repro.routing.network_sim import NetworkSimulator
 from repro.util.rng import make_rng
+
+if TYPE_CHECKING:
+    from repro.obs.registry import Registry
 
 # A packet replans once to start, once per (bounded) discovery, and a
 # small number of extra times when piggybacked knowledge staled its
@@ -91,9 +96,11 @@ class ChaosRunner:
         plan: FaultPlan,
         epsilon: float = 1.0,
         probe_on_failure: bool = True,
+        obs: "Registry | None" = None,
     ) -> None:
         self._graph = graph
         self._plan = plan
+        self._obs = obs
         self._sim = NetworkSimulator(
             graph, epsilon=epsilon, probe_on_failure=probe_on_failure
         )
@@ -119,6 +126,12 @@ class ChaosRunner:
     # -- event application -------------------------------------------------
 
     def _apply(self, index: int, event: ChaosEvent) -> None:
+        if self._obs is not None:
+            self._obs.counter(
+                "repro_chaos_events_total",
+                "Chaos-plan events applied, by kind.",
+                kind=event.kind,
+            ).inc()
         if event.kind == "send":
             self._checked_send(index, event)
             return
@@ -149,6 +162,11 @@ class ChaosRunner:
 
     def _violation(self, index: int, message: str) -> None:
         self._report.violations.append(f"event {index}: {message}")
+        if self._obs is not None:
+            self._obs.counter(
+                "repro_chaos_violations_total",
+                "Invariant violations recorded by chaos runners.",
+            ).inc()
 
     def _true_distance(self, s: int, t: int) -> float:
         dist = bfs_distances_avoiding(

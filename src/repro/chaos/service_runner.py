@@ -33,6 +33,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.chaos.plan import ChaosEvent, FaultPlan, SERVICE_EVENT_KINDS
 from repro.durability.fs import SimulatedFS
@@ -42,6 +43,10 @@ from repro.graphs.traversal import bfs_distances_avoiding
 from repro.labeling import ForbiddenSetLabeling
 from repro.service import QueryService
 from repro.util.rng import make_rng
+
+if TYPE_CHECKING:
+    from repro.obs.registry import Registry
+    from repro.obs.trace import Tracer
 
 _EPS = 1e-9
 
@@ -97,10 +102,13 @@ class ServiceChaosRunner:
         retry=None,
         breaker=None,
         final_probes: int = 3,
+        obs: "Registry | None" = None,
+        tracer: "Tracer | None" = None,
     ) -> None:
         self._graph = graph
         self._plan = plan
         self._final_probes = final_probes
+        self._obs = obs
         scheme = ForbiddenSetLabeling(graph, epsilon)
         self._stretch_bound = scheme.stretch_bound()
         self._service = QueryService.from_scheme(
@@ -112,6 +120,8 @@ class ServiceChaosRunner:
             retry=retry,
             breaker=breaker,
             seed=plan.seed + 1,
+            obs=obs,
+            tracer=tracer,
         )
         self._event_rng = make_rng(plan.seed + 2)
         self._probe_rng = make_rng(plan.seed + 3)
@@ -147,6 +157,12 @@ class ServiceChaosRunner:
 
     def _apply(self, index: int, event: ChaosEvent) -> None:
         kind = event.kind
+        if self._obs is not None:
+            self._obs.counter(
+                "repro_chaos_events_total",
+                "Chaos-plan events applied, by kind.",
+                kind=kind,
+            ).inc()
         if kind not in SERVICE_EVENT_KINDS:
             self._violation(
                 index, f"event kind {kind!r} is not a serving-tier event"
@@ -173,6 +189,11 @@ class ServiceChaosRunner:
 
     def _violation(self, index: int, message: str) -> None:
         self._report.violations.append(f"event {index}: {message}")
+        if self._obs is not None:
+            self._obs.counter(
+                "repro_chaos_violations_total",
+                "Invariant violations recorded by chaos runners.",
+            ).inc()
 
     def _true_distance(self, event: ChaosEvent) -> float:
         dist = bfs_distances_avoiding(
@@ -377,6 +398,7 @@ def service_standard_suite(
     num_events: int = 60,
     seed: int = 0,
     epsilon: float = 1.0,
+    obs: "Registry | None" = None,
 ) -> list[ServiceChaosReport]:
     """The acceptance battery: seeded shard-chaos over a service matrix.
 
@@ -415,6 +437,7 @@ def service_standard_suite(
             run_service_plan(
                 graph, plan, epsilon=epsilon,
                 num_shards=num_shards, replication=replication, retry=retry,
+                obs=obs,
             )
         )
     return reports

@@ -13,6 +13,11 @@ Subcommands::
     python -m repro crash-battery [GRAPH_SPEC] [--seed 0] [--churn-rounds 3]
     python -m repro experiment E1 [E5 ...] [--full]
     python -m repro lint [PATH ...] [--format text|json] [--select RPL001,...]
+    python -m repro metrics [--schedules 20] [--events 60] [--seed 0] \
+        [--format prom|json]
+    python -m repro trace labels.fsdl -s 0 -t 63 [--fail-vertex 5 ...] \
+        [--format text|json]
+    python -m repro bench [--queries 120] [--repeats 5] [--emit BENCH.json]
 
 ``GRAPH_SPEC`` selects a generator: ``path:64``, ``cycle:32``,
 ``grid:8x8``, ``grid:4x4x4``, ``torus:6x6``, ``tree:50`` (optionally
@@ -349,6 +354,77 @@ def cmd_lint(args: argparse.Namespace) -> int:
     return 0 if result.ok else 1
 
 
+def cmd_metrics(args: argparse.Namespace) -> int:
+    """``repro metrics``: observed serve-chaos battery, exported metrics.
+
+    Runs the seeded battery with every instrumentation hook attached
+    and prints the aggregate registry in Prometheus text format (or
+    canonical JSON).  The same seed always prints byte-identical
+    output — that is the property the golden-trace test pins down.
+    """
+    from repro.obs.export import render_metrics_json, render_prometheus
+    from repro.obs.harness import observed_service_battery
+
+    registry, reports = observed_service_battery(
+        num_schedules=args.schedules,
+        num_events=args.events,
+        seed=args.seed,
+        epsilon=args.epsilon,
+    )
+    if args.format == "json":
+        print(render_metrics_json(registry))
+    else:
+        print(render_prometheus(registry), end="")
+    violations = sum(len(r.violations) for r in reports)
+    return 0 if violations == 0 else 1
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    """``repro trace``: one traced query with its decode span tree."""
+    from repro.obs.export import render_trace_json, render_trace_text
+    from repro.obs.trace import Tracer
+    from repro.oracle.persistence import LabelDatabase
+
+    db = LabelDatabase.load(args.database)
+    edge_faults = [_parse_edge(e) for e in args.fail_edge]
+    tracer = Tracer()
+    result = db.query(
+        args.source,
+        args.target,
+        vertex_faults=args.fail_vertex,
+        edge_faults=edge_faults,
+        tracer=tracer,
+    )
+    if args.format == "json":
+        print(render_trace_json(tracer))
+        return 0
+    if math.isinf(result.distance):
+        print(f"d({args.source}, {args.target} | F) = unreachable")
+    else:
+        print(f"d({args.source}, {args.target} | F) = {result.distance}")
+    print(render_trace_text(tracer), end="")
+    return 0
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    """``repro bench``: measure the decode tracing overhead budget."""
+    import json as json_module
+
+    from repro.obs.bench import run_bench
+
+    payload = run_bench(
+        seed=args.seed,
+        epsilon=args.epsilon,
+        num_queries=args.queries,
+        repeats=args.repeats,
+        emit=args.emit,
+    )
+    print(json_module.dumps(payload, indent=2, sort_keys=True))
+    if args.emit:
+        print(f"wrote {args.emit}")
+    return 0
+
+
 def cmd_verify(args: argparse.Namespace) -> int:
     """``repro verify``: check a scheme against the paper's definitions."""
     from repro.labeling import ForbiddenSetLabeling, LabelingOptions
@@ -499,6 +575,48 @@ def build_parser() -> argparse.ArgumentParser:
     p_exp.add_argument("--full", action="store_true")
     p_exp.set_defaults(func=cmd_experiment)
 
+    p_metrics = sub.add_parser(
+        "metrics",
+        help="run an observed serve-chaos battery and export its metrics",
+    )
+    p_metrics.add_argument("--schedules", type=int, default=20)
+    p_metrics.add_argument("--events", type=int, default=60)
+    p_metrics.add_argument("--seed", type=int, default=0)
+    p_metrics.add_argument("-e", "--epsilon", type=float, default=1.0)
+    p_metrics.add_argument(
+        "--format", choices=["prom", "json"], default="prom",
+        help="prom = Prometheus text exposition, json = canonical JSON",
+    )
+    p_metrics.set_defaults(func=cmd_metrics)
+
+    p_trace = sub.add_parser(
+        "trace", help="answer one query and print its decode span tree"
+    )
+    p_trace.add_argument("database")
+    p_trace.add_argument("-s", "--source", type=int, required=True)
+    p_trace.add_argument("-t", "--target", type=int, required=True)
+    p_trace.add_argument("--fail-vertex", type=int, action="append", default=[])
+    p_trace.add_argument(
+        "--fail-edge", action="append", default=[], metavar="A-B"
+    )
+    p_trace.add_argument(
+        "--format", choices=["text", "json"], default="text"
+    )
+    p_trace.set_defaults(func=cmd_trace)
+
+    p_bench = sub.add_parser(
+        "bench", help="measure decode-pipeline instrumentation overhead"
+    )
+    p_bench.add_argument("--seed", type=int, default=0)
+    p_bench.add_argument("-e", "--epsilon", type=float, default=1.0)
+    p_bench.add_argument("--queries", type=int, default=120)
+    p_bench.add_argument("--repeats", type=int, default=5)
+    p_bench.add_argument(
+        "--emit", default=None, metavar="PATH",
+        help="also write the payload as JSON to PATH (e.g. BENCH_5.json)",
+    )
+    p_bench.set_defaults(func=cmd_bench)
+
     return parser
 
 
@@ -509,6 +627,9 @@ def main(argv: list[str] | None = None) -> int:
     try:
         return args.func(args)
     except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except OSError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
 

@@ -21,6 +21,7 @@ the durability invariant the crash battery checks at every kill-point.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.durability.atomic import atomic_write, remove_stale_tmp
 from repro.durability.fs import FileSystem
@@ -34,6 +35,9 @@ from repro.durability.table import (
 )
 from repro.durability.wal import encode_wal_header, read_wal
 from repro.exceptions import StorageCorruptionError
+
+if TYPE_CHECKING:
+    from repro.obs.registry import Registry
 
 
 @dataclass(frozen=True)
@@ -62,8 +66,9 @@ class RecoveryReport:
 class RecoveryManager:
     """Rebuilds durable label tables after a crash (or a clean stop)."""
 
-    def __init__(self, fs: FileSystem) -> None:
+    def __init__(self, fs: FileSystem, obs: "Registry | None" = None) -> None:
         self._fs = fs
+        self._obs = obs
 
     def recover(self, directory: str) -> tuple[DurableLabelTable, RecoveryReport]:
         """Recover the table stored under ``directory``.
@@ -125,7 +130,21 @@ class RecoveryManager:
             state=state,
             last_lsn=last_lsn,
             snapshot_lsn=snapshot_lsn,
+            obs=self._obs,
         )
+        if self._obs is not None:
+            self._obs.counter(
+                "repro_recoveries_total",
+                "Restart-time recoveries performed.",
+            ).inc()
+            self._obs.counter(
+                "repro_recovery_records_replayed_total",
+                "WAL records replayed over snapshots during recovery.",
+            ).inc(replayed)
+            self._obs.counter(
+                "repro_recovery_torn_tails_total",
+                "Torn WAL tails truncated during recovery.",
+            ).inc(1 if torn_bytes else 0)
         report = RecoveryReport(
             directory=directory,
             swept_tmp=swept,

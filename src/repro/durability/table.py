@@ -16,12 +16,16 @@ intact records over the snapshot.
 from __future__ import annotations
 
 import struct
+from typing import TYPE_CHECKING
 
 from repro.durability.atomic import atomic_write
 from repro.durability.fs import FileSystem
 from repro.durability.snapshot import encode_snapshot
 from repro.durability.wal import encode_frame, encode_wal_header
 from repro.exceptions import DurabilityError, StorageCorruptionError
+
+if TYPE_CHECKING:
+    from repro.obs.registry import Registry
 
 #: WAL record opcodes
 OP_PUT = 1
@@ -92,18 +96,25 @@ class DurableLabelTable:
         state: dict[int, bytes],
         last_lsn: int,
         snapshot_lsn: int,
+        obs: "Registry | None" = None,
     ) -> None:
         self._fs = fs
         self._dir = directory
         self._state = dict(state)
         self._last_lsn = last_lsn
         self._snapshot_lsn = snapshot_lsn
+        self.obs = obs
 
     @classmethod
-    def create(cls, fs: FileSystem, directory: str) -> "DurableLabelTable":
+    def create(
+        cls,
+        fs: FileSystem,
+        directory: str,
+        obs: "Registry | None" = None,
+    ) -> "DurableLabelTable":
         """Initialise an empty table: a fresh WAL at base LSN 0."""
         atomic_write(fs, wal_path(directory), encode_wal_header(0))
-        return cls(fs, directory, state={}, last_lsn=0, snapshot_lsn=0)
+        return cls(fs, directory, state={}, last_lsn=0, snapshot_lsn=0, obs=obs)
 
     # -- observers -----------------------------------------------------------
 
@@ -155,13 +166,23 @@ class DurableLabelTable:
 
     def _log(self, record: bytes, vertex: int, payload: bytes | None) -> int:
         path = wal_path(self._dir)
-        self._fs.append_bytes(path, encode_frame(record))
+        frame = encode_frame(record)
+        self._fs.append_bytes(path, frame)
         self._fs.fsync(path)
         self._last_lsn += 1
         if payload is None:
             self._state.pop(vertex, None)
         else:
             self._state[vertex] = payload
+        if self.obs is not None:
+            self.obs.counter(
+                "repro_wal_appends_total",
+                "WAL records appended (each fsynced before the ack).",
+            ).inc()
+            self.obs.counter(
+                "repro_wal_bytes_total",
+                "Framed WAL bytes appended.",
+            ).inc(len(frame))
         return self._last_lsn
 
     def compact(self) -> int:
@@ -173,6 +194,7 @@ class DurableLabelTable:
         snapshot plus the old WAL — replay skips every record at or
         below the snapshot LSN, so nothing is applied twice.
         """
+        folded = self._last_lsn - self._snapshot_lsn
         atomic_write(
             self._fs,
             snapshot_path(self._dir),
@@ -182,4 +204,13 @@ class DurableLabelTable:
             self._fs, wal_path(self._dir), encode_wal_header(self._last_lsn)
         )
         self._snapshot_lsn = self._last_lsn
+        if self.obs is not None:
+            self.obs.counter(
+                "repro_compactions_total",
+                "WAL-into-snapshot compactions performed.",
+            ).inc()
+            self.obs.counter(
+                "repro_compaction_records_folded_total",
+                "WAL records folded into snapshots by compaction.",
+            ).inc(folded)
         return self._snapshot_lsn

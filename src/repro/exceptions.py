@@ -66,6 +66,16 @@ class SimulatedCrashError(DurabilityError):
     kill-point: the simulated process dies mid-write/flush/rename."""
 
 
+class ObservabilityError(ReproError):
+    """Raised by the metrics/tracing layer (:mod:`repro.obs`).
+
+    Misuse of the registry — re-registering a metric name under a
+    different type, mismatched histogram buckets, negative counter
+    increments, malformed metric names — fails loudly instead of
+    producing exporter output that silently disagrees between runs.
+    """
+
+
 class ServiceError(ReproError):
     """Raised by the sharded label-serving tier (:mod:`repro.service`)."""
 

@@ -35,11 +35,15 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.exceptions import QueryError
 from repro.graphs.traversal import dijkstra_with_paths
 from repro.labeling.params import lam_for_level
 from repro.labeling.label import VertexLabel
+
+if TYPE_CHECKING:
+    from repro.obs.trace import Tracer
 
 
 @dataclass(frozen=True)
@@ -157,11 +161,14 @@ def build_sketch_graph(
     label_s: VertexLabel,
     label_t: VertexLabel,
     faults: FaultSet | None = None,
+    tracer: "Tracer | None" = None,
 ) -> dict[int, list[tuple[int, int]]]:
     """Assemble the sketch graph ``H = H(s, t, F)`` from labels alone.
 
     Returns an adjacency mapping ``x -> [(y, weight), …]`` over original
-    vertex ids.
+    vertex ids.  A ``tracer`` records the pipeline's op counts as
+    ``decode.fragment_gather`` / ``decode.safe_edge_filter`` /
+    ``decode.sketch_assembly`` spans without changing any answer.
     """
     faults = faults or FaultSet()
     _check_compatible([label_s, label_t] + faults.all_labels())
@@ -188,14 +195,23 @@ def build_sketch_graph(
     # protected-ball memberships depend only on (level, fault), not on the
     # label being scanned: compute each once
     membership_cache: dict[int, list[list[dict[int, int]]]] = {}
+    membership_hits = 0
 
     def memberships_for(i: int, lam: int) -> list[list[dict[int, int]]]:
+        nonlocal membership_hits
         cached = membership_cache.get(i)
         if cached is None:
             cached = [group.membership(i, lam) for group in ball_groups]
             membership_cache[i] = cached
+        else:
+            membership_hits += 1
         return cached
 
+    levels_scanned = 0
+    edges_listed = 0
+    graph_edges_listed = 0
+    dropped_forbidden = 0
+    dropped_protected = 0
     edge_weights: dict[tuple[int, int], int] = {}
     for label in source_labels:
         levels = sorted(label.levels)
@@ -205,6 +221,9 @@ def build_sketch_graph(
             memberships = memberships_for(i, lam)
             owner = label.vertex
             owner_is_net = i == lowest  # at the lowest level N_0 = V(G)
+            levels_scanned += 1
+            graph_edges_listed += len(level_label.graph_edges)
+            edges_listed += len(level_label.edges)
             # graph-edge clause: actual graph edges survive next to faults
             # as long as they are not themselves forbidden
             for (x, y), weight in level_label.graph_edges.items():
@@ -216,6 +235,8 @@ def build_sketch_graph(
                     prev = edge_weights.get((x, y))
                     if prev is None or weight < prev:
                         edge_weights[(x, y)] = weight
+                else:
+                    dropped_forbidden += 1
             for (x, y), weight in level_label.edges.items():
                 x_checkable = owner_is_net or x != owner
                 y_checkable = owner_is_net or y != owner
@@ -225,6 +246,8 @@ def build_sketch_graph(
                     prev = edge_weights.get((x, y))
                     if prev is None or weight < prev:
                         edge_weights[(x, y)] = weight
+                else:
+                    dropped_protected += 1
 
     adjacency: dict[int, list[tuple[int, int]]] = {
         label.vertex: [] for label in unique_labels
@@ -232,6 +255,22 @@ def build_sketch_graph(
     for (x, y), weight in edge_weights.items():
         adjacency.setdefault(x, []).append((y, weight))
         adjacency.setdefault(y, []).append((x, weight))
+
+    if tracer is not None:
+        with tracer.span("decode.fragment_gather") as gather:
+            gather.set("labels", len(source_labels))
+            gather.set("unique_labels", len(unique_labels))
+            gather.set("levels_scanned", levels_scanned)
+            gather.set("edges_listed", edges_listed + graph_edges_listed)
+        with tracer.span("decode.safe_edge_filter") as filt:
+            filt.set("protected_balls", len(ball_groups))
+            filt.set("membership_levels_computed", len(membership_cache))
+            filt.set("membership_cache_hits", membership_hits)
+            filt.set("edges_dropped_protected", dropped_protected)
+            filt.set("edges_dropped_forbidden", dropped_forbidden)
+        with tracer.span("decode.sketch_assembly") as assembly:
+            assembly.set("sketch_vertices", len(adjacency))
+            assembly.set("edges_kept", len(edge_weights))
     return adjacency
 
 
@@ -276,25 +315,51 @@ def decode_distance(
     label_s: VertexLabel,
     label_t: VertexLabel,
     faults: FaultSet | None = None,
+    tracer: "Tracer | None" = None,
 ) -> QueryResult:
     """Answer a forbidden-set distance query from labels alone.
 
     Returns a :class:`QueryResult` whose ``distance`` satisfies
     ``d_{G\\F}(s,t) ≤ distance ≤ (1+ε)·d_{G\\F}(s,t)``
     (``math.inf`` when ``s`` and ``t`` are disconnected in ``G\\F``).
+    A ``tracer`` records the decode pipeline's op counts as a span
+    tree (see :mod:`repro.obs.trace`); tracing never changes answers.
     """
     faults = faults or FaultSet()
     if label_s.vertex == label_t.vertex:
         if label_s.vertex in faults.forbidden_vertices():
             raise QueryError("query endpoint is inside the forbidden set")
+        if tracer is not None:
+            with tracer.span("decode") as root:
+                root.set("trivial", 1)
+                root.set("num_faults", len(faults))
         return QueryResult(
             distance=0, path=(label_s.vertex,), sketch_vertices=0, sketch_edges=0
         )
-    adjacency = build_sketch_graph(label_s, label_t, faults)
-    num_edges = sum(len(nbrs) for nbrs in adjacency.values()) // 2
-    distance, path = dijkstra_with_paths(
-        adjacency, label_s.vertex, label_t.vertex
-    )
+    root = tracer.start("decode") if tracer is not None else None
+    try:
+        adjacency = build_sketch_graph(label_s, label_t, faults, tracer=tracer)
+        num_edges = sum(len(nbrs) for nbrs in adjacency.values()) // 2
+        dijkstra_span = (
+            tracer.start("decode.dijkstra") if tracer is not None else None
+        )
+        try:
+            distance, path = dijkstra_with_paths(
+                adjacency, label_s.vertex, label_t.vertex, span=dijkstra_span
+            )
+        finally:
+            if dijkstra_span is not None:
+                tracer.end(dijkstra_span)
+        if root is not None:
+            root.set("num_faults", len(faults))
+            root.set("sketch_vertices", len(adjacency))
+            root.set("sketch_edges", num_edges)
+            root.set(
+                "reachable", 0 if math.isinf(distance) else 1
+            )
+    finally:
+        if root is not None:
+            tracer.end(root)
     if math.isinf(distance):
         return QueryResult(
             distance=math.inf,

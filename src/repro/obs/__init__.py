@@ -1,0 +1,69 @@
+"""Deterministic observability: metrics, tracing, exporters.
+
+Dependency-free and VirtualClock-aware.  Everything in this package is
+engineered so that a seeded run exports byte-identical metrics and
+traces every time: integer counters, integer-microunit histogram sums,
+sorted export order, and no wall-clock reads anywhere.
+"""
+
+from repro.obs.export import (
+    format_micros,
+    format_value,
+    registry_snapshot,
+    render_metrics_json,
+    render_prometheus,
+    render_trace_json,
+    render_trace_text,
+)
+from repro.obs.registry import (
+    LATENCY_BUCKETS_MS,
+    MICROS,
+    OP_COUNT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    LabelSet,
+    Registry,
+    canonical_labels,
+)
+from repro.obs.trace import (
+    SPAN_DECODE,
+    SPAN_DIJKSTRA,
+    SPAN_FETCH_LABELS,
+    SPAN_FRAGMENT_GATHER,
+    SPAN_SAFE_EDGE_FILTER,
+    SPAN_SERVICE_QUERY,
+    SPAN_SKETCH_ASSEMBLY,
+    ClockLike,
+    Span,
+    Tracer,
+)
+
+__all__ = [
+    "LATENCY_BUCKETS_MS",
+    "MICROS",
+    "OP_COUNT_BUCKETS",
+    "SPAN_DECODE",
+    "SPAN_DIJKSTRA",
+    "SPAN_FETCH_LABELS",
+    "SPAN_FRAGMENT_GATHER",
+    "SPAN_SAFE_EDGE_FILTER",
+    "SPAN_SERVICE_QUERY",
+    "SPAN_SKETCH_ASSEMBLY",
+    "ClockLike",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "LabelSet",
+    "Registry",
+    "Span",
+    "Tracer",
+    "canonical_labels",
+    "format_micros",
+    "format_value",
+    "registry_snapshot",
+    "render_metrics_json",
+    "render_prometheus",
+    "render_trace_json",
+    "render_trace_text",
+]

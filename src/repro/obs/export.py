@@ -1,0 +1,173 @@
+"""Exporters: Prometheus text format and canonical JSON.
+
+Both renderings are **byte-deterministic** for a given registry state:
+metrics are walked in sorted ``(name, labels)`` order, label values
+are escaped canonically, and histogram sums are rendered from their
+integer-microunit representation (never through float repr), so the
+golden-trace regression test can diff exporter output across runs,
+platforms and Python versions.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs.registry import (
+    MICROS,
+    Counter,
+    Gauge,
+    Histogram,
+    LabelSet,
+    Registry,
+)
+from repro.obs.trace import Span, Tracer
+
+
+def format_micros(micros: int) -> str:
+    """Exact decimal rendering of an integer-microunit quantity.
+
+    ``1_234_500`` becomes ``"1.2345"`` — computed with integer
+    arithmetic, so the string never depends on float formatting.
+    """
+    sign = "-" if micros < 0 else ""
+    magnitude = abs(micros)
+    whole, frac = divmod(magnitude, MICROS)
+    if frac == 0:
+        return f"{sign}{whole}"
+    return f"{sign}{whole}.{frac:06d}".rstrip("0")
+
+
+def format_value(value: float) -> str:
+    """Canonical number rendering: integral floats drop the ``.0``."""
+    if isinstance(value, int):
+        return str(value)
+    if float(value).is_integer():
+        return str(int(value))
+    return format_micros(round(value * MICROS))
+
+
+def _escape_label(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _label_text(labels: LabelSet, extra: tuple[tuple[str, str], ...] = ()) -> str:
+    pairs = list(labels) + list(extra)
+    if not pairs:
+        return ""
+    body = ",".join(f'{key}="{_escape_label(val)}"' for key, val in pairs)
+    return "{" + body + "}"
+
+
+def render_prometheus(registry: Registry) -> str:
+    """The registry in the Prometheus text exposition format."""
+    lines: list[str] = []
+    seen_headers: set[str] = set()
+    for metric in registry.collect():
+        name = metric.name
+        if name not in seen_headers:
+            seen_headers.add(name)
+            help_text = registry.help_for(name)
+            if help_text:
+                lines.append(f"# HELP {name} {help_text}")
+            lines.append(f"# TYPE {name} {registry.type_of(name)}")
+        if isinstance(metric, Counter):
+            lines.append(
+                f"{name}{_label_text(metric.labels)} {metric.value}"
+            )
+        elif isinstance(metric, Gauge):
+            lines.append(
+                f"{name}{_label_text(metric.labels)} "
+                f"{format_value(metric.value)}"
+            )
+        elif isinstance(metric, Histogram):
+            cumulative = 0
+            for bound, bucket in zip(metric.bounds, metric.bucket_counts):
+                cumulative += bucket
+                le = (("le", format_value(bound)),)
+                lines.append(
+                    f"{name}_bucket{_label_text(metric.labels, le)} "
+                    f"{cumulative}"
+                )
+            cumulative += metric.bucket_counts[-1]
+            inf = (("le", "+Inf"),)
+            lines.append(
+                f"{name}_bucket{_label_text(metric.labels, inf)} {cumulative}"
+            )
+            lines.append(
+                f"{name}_sum{_label_text(metric.labels)} "
+                f"{format_micros(metric.sum_micros)}"
+            )
+            lines.append(
+                f"{name}_count{_label_text(metric.labels)} {metric.count}"
+            )
+    return "\n".join(lines) + "\n"
+
+
+def registry_snapshot(registry: Registry) -> dict[str, object]:
+    """A nested, JSON-ready view of every metric (deterministic order).
+
+    Histogram sums appear as integer ``sum_micros`` so the JSON is
+    exact and identical across platforms.
+    """
+    metrics: list[dict[str, object]] = []
+    for metric in registry.collect():
+        entry: dict[str, object] = {
+            "name": metric.name,
+            "labels": {key: value for key, value in metric.labels},
+            "type": registry.type_of(metric.name),
+        }
+        if isinstance(metric, Counter):
+            entry["value"] = metric.value
+        elif isinstance(metric, Gauge):
+            entry["value"] = format_value(metric.value)
+        elif isinstance(metric, Histogram):
+            entry["buckets"] = {
+                format_value(bound): count
+                for bound, count in zip(metric.bounds, metric.bucket_counts)
+            }
+            entry["inf"] = metric.bucket_counts[-1]
+            entry["count"] = metric.count
+            entry["sum_micros"] = metric.sum_micros
+        metrics.append(entry)
+    return {"metrics": metrics}
+
+
+def render_metrics_json(registry: Registry) -> str:
+    """The registry as canonical (sorted-key, compact) JSON text."""
+    return json.dumps(
+        registry_snapshot(registry), sort_keys=True, separators=(",", ":")
+    )
+
+
+def render_trace_json(tracer: Tracer) -> str:
+    """Every recorded span as canonical JSON text."""
+    return json.dumps(
+        {"spans": tracer.to_dicts()}, sort_keys=True, separators=(",", ":")
+    )
+
+
+def render_trace_text(tracer: Tracer) -> str:
+    """A human-readable span tree (indentation = nesting)."""
+    children: dict[int | None, list[Span]] = {}
+    for span in tracer.spans:
+        children.setdefault(span.parent_id, []).append(span)
+
+    lines: list[str] = []
+
+    def walk(parent: int | None, depth: int) -> None:
+        for span in children.get(parent, ()):
+            attrs = " ".join(
+                f"{key}={format_value(value) if not isinstance(value, str) else value}"
+                for key, value in sorted(span.attrs.items())
+            )
+            timing = ""
+            if span.start_ms is not None and span.end_ms is not None:
+                timing = f" [{format_value(span.end_ms - span.start_ms)}ms]"
+            lines.append(
+                f"{'  ' * depth}{span.name}{timing}"
+                f"{(' ' + attrs) if attrs else ''}"
+            )
+            walk(span.span_id, depth + 1)
+
+    walk(None, 0)
+    return "\n".join(lines) + ("\n" if lines else "")

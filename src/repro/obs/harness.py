@@ -1,0 +1,57 @@
+"""Observed chaos batteries: seeded workloads behind one shared registry.
+
+The golden-trace regression test and the ``repro metrics`` CLI both
+need the same thing: run a fully seeded serve-chaos battery with every
+instrumentation hook live, and export the resulting metrics
+canonically.  Because every moving part is deterministic — seeded
+plans, virtual clocks, integer metric arithmetic, sorted exports — two
+runs of the same battery produce **byte-identical** exporter output,
+which is exactly what the golden file pins down.
+"""
+
+from __future__ import annotations
+
+from repro.obs.export import render_metrics_json
+from repro.obs.registry import Registry
+
+
+def observed_service_battery(
+    num_schedules: int = 20,
+    num_events: int = 60,
+    seed: int = 0,
+    epsilon: float = 1.0,
+) -> tuple[Registry, list]:
+    """Run the serve-chaos acceptance battery with obs hooks attached.
+
+    One :class:`Registry` is shared across every schedule, so the
+    export aggregates the whole battery.  Returns ``(registry,
+    reports)``; the reports are the usual
+    :class:`~repro.chaos.service_runner.ServiceChaosReport` list.
+    """
+    from repro.chaos.service_runner import service_standard_suite
+
+    registry = Registry()
+    reports = service_standard_suite(
+        num_schedules=num_schedules,
+        num_events=num_events,
+        seed=seed,
+        epsilon=epsilon,
+        obs=registry,
+    )
+    return registry, reports
+
+
+def battery_metrics_json(
+    num_schedules: int = 20,
+    num_events: int = 60,
+    seed: int = 0,
+    epsilon: float = 1.0,
+) -> str:
+    """Canonical JSON export of one observed battery (bit-deterministic)."""
+    registry, _ = observed_service_battery(
+        num_schedules=num_schedules,
+        num_events=num_events,
+        seed=seed,
+        epsilon=epsilon,
+    )
+    return render_metrics_json(registry)

@@ -1,0 +1,309 @@
+"""Deterministic metrics primitives: counters, gauges, histograms.
+
+A :class:`Registry` is a process-local collection of named metrics.
+Everything here is engineered for **bit-determinism under seeded
+runs** — the same seeded workload must export byte-identical metrics
+on every run and every platform:
+
+* counters and histogram bucket counts are plain integers;
+* histogram *sums* are kept in integer microunits (``round(value *
+  1e6)``), so accumulation and merging are associative and commutative
+  exactly, not just approximately (float addition is neither);
+* every export walks metrics in sorted ``(name, labels)`` order;
+* nothing reads the wall clock — time-like values (virtual-ms
+  latencies) arrive from the caller's
+  :class:`~repro.service.clock.VirtualClock`.
+
+Misuse fails loudly with
+:class:`~repro.exceptions.ObservabilityError`: one metric name has one
+type, one help string and (for histograms) one bucket layout, and a
+counter never decreases.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.exceptions import ObservabilityError
+
+#: label-value pairs in canonical (sorted) order
+LabelSet = tuple[tuple[str, str], ...]
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+#: default histogram bounds for virtual-millisecond latencies
+LATENCY_BUCKETS_MS = (
+    0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 500.0, 1000.0,
+)
+
+#: default histogram bounds for dimensionless operation counts
+OP_COUNT_BUCKETS = (
+    1.0, 2.0, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 500.0, 1000.0,
+    2500.0, 5000.0, 10000.0,
+)
+
+#: microunits per unit in histogram sums (fixed-point, exact arithmetic)
+MICROS = 1_000_000
+
+
+def canonical_labels(labels: dict[str, object]) -> LabelSet:
+    """Validate a label dict and return it in canonical sorted order."""
+    out = []
+    for key in sorted(labels):
+        if not _LABEL_RE.match(key):
+            raise ObservabilityError(f"bad label name {key!r}")
+        out.append((key, str(labels[key])))
+    return tuple(out)
+
+
+class Counter:
+    """A monotonically increasing integer.
+
+    Increments are integers only — fractional or negative deltas are
+    rejected, which is what makes aggregation order-independent.
+    """
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: LabelSet) -> None:
+        self.name = name
+        self.labels = labels
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> int:
+        """Add ``amount`` (a non-negative int); returns the new value."""
+        if not isinstance(amount, int) or isinstance(amount, bool):
+            raise ObservabilityError(
+                f"counter {self.name} increment must be an int, "
+                f"got {amount!r}"
+            )
+        if amount < 0:
+            raise ObservabilityError(
+                f"counter {self.name} cannot decrease (delta {amount})"
+            )
+        self.value += amount
+        return self.value
+
+
+class Gauge:
+    """A value that can move in both directions (e.g. WAL backlog)."""
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: LabelSet) -> None:
+        self.name = name
+        self.labels = labels
+        self.value: float = 0.0
+
+    def set(self, value: float) -> None:
+        """Replace the current value."""
+        self.value = float(value)
+
+    def add(self, delta: float) -> None:
+        """Shift the current value by ``delta``."""
+        self.value += float(delta)
+
+
+class Histogram:
+    """A fixed-bucket histogram with exact (integer) accumulation.
+
+    ``bounds`` are the inclusive upper edges of the finite buckets; one
+    implicit ``+Inf`` bucket catches the rest.  The running sum is held
+    in integer microunits so that :meth:`merge` is associative and
+    commutative bit-for-bit — the property tests in
+    ``tests/test_obs.py`` pin this down.
+    """
+
+    __slots__ = ("name", "labels", "bounds", "bucket_counts", "count",
+                 "sum_micros")
+
+    def __init__(
+        self, name: str, labels: LabelSet, bounds: tuple[float, ...]
+    ) -> None:
+        if not bounds:
+            raise ObservabilityError(f"histogram {name} needs >= 1 bucket")
+        if any(b >= a for b, a in zip(bounds, bounds[1:])):
+            raise ObservabilityError(
+                f"histogram {name} bounds must increase strictly: {bounds}"
+            )
+        self.name = name
+        self.labels = labels
+        self.bounds = tuple(float(b) for b in bounds)
+        self.bucket_counts = [0] * (len(bounds) + 1)  # last = +Inf
+        self.count = 0
+        self.sum_micros = 0
+
+    def observe(self, value: float) -> None:
+        """Record one sample."""
+        value = float(value)
+        for index, bound in enumerate(self.bounds):
+            if value <= bound:
+                self.bucket_counts[index] += 1
+                break
+        else:
+            self.bucket_counts[-1] += 1
+        self.count += 1
+        self.sum_micros += round(value * MICROS)
+
+    @property
+    def sum(self) -> float:
+        """The accumulated sum (microunit-exact, returned as float)."""
+        return self.sum_micros / MICROS
+
+    def merge(self, other: "Histogram") -> "Histogram":
+        """A new histogram holding both operands' samples.
+
+        Pure integer addition of bucket counts, totals and microunit
+        sums — exactly associative and commutative.  The operands must
+        share bucket bounds.
+        """
+        if self.bounds != other.bounds:
+            raise ObservabilityError(
+                f"cannot merge histograms with different buckets: "
+                f"{self.bounds} vs {other.bounds}"
+            )
+        merged = Histogram(self.name, self.labels, self.bounds)
+        merged.bucket_counts = [
+            a + b for a, b in zip(self.bucket_counts, other.bucket_counts)
+        ]
+        merged.count = self.count + other.count
+        merged.sum_micros = self.sum_micros + other.sum_micros
+        return merged
+
+
+#: union of the metric kinds a registry can hold
+Metric = Counter | Gauge | Histogram
+
+_TYPE_NAMES = {Counter: "counter", Gauge: "gauge", Histogram: "histogram"}
+
+
+class Registry:
+    """A named collection of metrics with get-or-create semantics.
+
+    ``counter`` / ``gauge`` / ``histogram`` return the existing
+    instrument when called again with the same name and labels, so
+    instrumentation sites can stay stateless.  One name is bound to one
+    metric type, one help string and one bucket layout for life —
+    conflicts raise instead of corrupting the export.
+    """
+
+    def __init__(self) -> None:
+        self._metrics: dict[tuple[str, LabelSet], Metric] = {}
+        self._types: dict[str, type] = {}
+        self._help: dict[str, str] = {}
+        self._buckets: dict[str, tuple[float, ...]] = {}
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def _register(
+        self, cls: type, name: str, help_text: str | None,
+        labels: dict[str, object],
+    ) -> tuple[Metric | None, LabelSet]:
+        if not _NAME_RE.match(name):
+            raise ObservabilityError(f"bad metric name {name!r}")
+        bound = self._types.get(name)
+        if bound is not None and bound is not cls:
+            raise ObservabilityError(
+                f"metric {name} is a {_TYPE_NAMES[bound]}, "
+                f"not a {_TYPE_NAMES[cls]}"
+            )
+        self._types[name] = cls
+        if help_text is not None:
+            previous = self._help.get(name)
+            if previous is not None and previous != help_text:
+                raise ObservabilityError(
+                    f"metric {name} help text changed: "
+                    f"{previous!r} vs {help_text!r}"
+                )
+            self._help[name] = help_text
+        label_set = canonical_labels(labels)
+        return self._metrics.get((name, label_set)), label_set
+
+    def counter(
+        self, name: str, help_text: str | None = None, **labels: object
+    ) -> Counter:
+        """Get or create the counter ``name`` with the given labels."""
+        existing, label_set = self._register(Counter, name, help_text, labels)
+        if existing is not None:
+            return existing  # type: ignore[return-value]
+        metric = Counter(name, label_set)
+        self._metrics[(name, label_set)] = metric
+        return metric
+
+    def gauge(
+        self, name: str, help_text: str | None = None, **labels: object
+    ) -> Gauge:
+        """Get or create the gauge ``name`` with the given labels."""
+        existing, label_set = self._register(Gauge, name, help_text, labels)
+        if existing is not None:
+            return existing  # type: ignore[return-value]
+        metric = Gauge(name, label_set)
+        self._metrics[(name, label_set)] = metric
+        return metric
+
+    def histogram(
+        self,
+        name: str,
+        help_text: str | None = None,
+        buckets: tuple[float, ...] | None = None,
+        **labels: object,
+    ) -> Histogram:
+        """Get or create the histogram ``name`` with the given labels.
+
+        The first call for a name fixes its bucket layout (default
+        :data:`LATENCY_BUCKETS_MS`); later calls must match it.
+        """
+        existing, label_set = self._register(
+            Histogram, name, help_text, labels
+        )
+        bounds = tuple(buckets) if buckets is not None else None
+        fixed = self._buckets.get(name)
+        if fixed is None:
+            fixed = bounds if bounds is not None else LATENCY_BUCKETS_MS
+            self._buckets[name] = fixed
+        elif bounds is not None and bounds != fixed:
+            raise ObservabilityError(
+                f"histogram {name} bucket layout changed: "
+                f"{fixed} vs {bounds}"
+            )
+        if existing is not None:
+            return existing  # type: ignore[return-value]
+        metric = Histogram(name, label_set, fixed)
+        self._metrics[(name, label_set)] = metric
+        return metric
+
+    # -- inspection ----------------------------------------------------------
+
+    def collect(self) -> list[Metric]:
+        """Every metric, sorted by ``(name, labels)`` (the export order)."""
+        return [
+            self._metrics[key] for key in sorted(self._metrics)
+        ]
+
+    def help_for(self, name: str) -> str | None:
+        """The registered help string for ``name`` (None if unset)."""
+        return self._help.get(name)
+
+    def type_of(self, name: str) -> str | None:
+        """``"counter"`` / ``"gauge"`` / ``"histogram"`` for ``name``."""
+        cls = self._types.get(name)
+        return None if cls is None else _TYPE_NAMES[cls]
+
+    def get_counter_value(self, name: str, **labels: object) -> int:
+        """Current value of a counter (0 when it was never touched)."""
+        metric = self._metrics.get((name, canonical_labels(labels)))
+        if metric is None:
+            return 0
+        if not isinstance(metric, Counter):
+            raise ObservabilityError(f"metric {name} is not a counter")
+        return metric.value
+
+    def total(self, name: str) -> int:
+        """Sum of a counter family's values across every label set."""
+        total = 0
+        for (metric_name, _), metric in self._metrics.items():
+            if metric_name == name and isinstance(metric, Counter):
+                total += metric.value
+        return total

@@ -1,0 +1,154 @@
+"""Span-based tracing of the decode pipeline (and the serving path).
+
+A :class:`Tracer` records a tree of :class:`Span` objects.  Spans are
+cheap — a dataclass append, no I/O — and carry *operation counts*
+(nodes touched, edges scanned, heap operations) as attributes, because
+in a deterministic reproduction op-counts are the honest cost signal:
+they make the paper's ``O((1+1/ε)^{2α}·|F|²·log n)`` decoder bound a
+measurable, regression-testable quantity, where wall-clock durations
+would vary with the host.
+
+The tracer is **VirtualClock-aware**: give it an object with a ``now``
+property (see :class:`repro.service.clock.VirtualClock`) and every
+span is stamped with virtual start/end times; without one, spans carry
+no timestamps and the trace is a pure, bit-deterministic op-count
+tree.  Span ids are dense integers in creation order, so two runs of
+the same seeded workload serialize identically.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator, Protocol
+
+from repro.exceptions import ObservabilityError
+
+#: span names of the decode pipeline, in execution order
+SPAN_DECODE = "decode"
+SPAN_FRAGMENT_GATHER = "decode.fragment_gather"
+SPAN_SAFE_EDGE_FILTER = "decode.safe_edge_filter"
+SPAN_SKETCH_ASSEMBLY = "decode.sketch_assembly"
+SPAN_DIJKSTRA = "decode.dijkstra"
+
+#: span names of the serving path
+SPAN_SERVICE_QUERY = "service.query"
+SPAN_FETCH_LABELS = "service.fetch_labels"
+
+
+class ClockLike(Protocol):
+    """Anything with a ``now`` property (duck-typed VirtualClock)."""
+
+    @property
+    def now(self) -> float:  # pragma: no cover - protocol stub
+        """Current simulated time in milliseconds."""
+        ...
+
+
+@dataclass
+class Span:
+    """One traced operation: a name, a parent, and op-count attributes."""
+
+    span_id: int
+    parent_id: int | None
+    name: str
+    attrs: dict[str, int | float | str] = field(default_factory=dict)
+    start_ms: float | None = None
+    end_ms: float | None = None
+
+    def add(self, key: str, amount: int | float = 1) -> None:
+        """Accumulate a numeric attribute (creates it at 0)."""
+        current = self.attrs.get(key, 0)
+        if isinstance(current, str):
+            raise ObservabilityError(
+                f"span attribute {key!r} holds a string, cannot add"
+            )
+        self.attrs[key] = current + amount
+
+    def set(self, key: str, value: int | float | str) -> None:
+        """Set an attribute outright."""
+        self.attrs[key] = value
+
+    def to_dict(self) -> dict[str, object]:
+        """A JSON-ready view with deterministically ordered attributes."""
+        out: dict[str, object] = {
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "attrs": {key: self.attrs[key] for key in sorted(self.attrs)},
+        }
+        if self.start_ms is not None:
+            out["start_ms"] = self.start_ms
+        if self.end_ms is not None:
+            out["end_ms"] = self.end_ms
+        return out
+
+
+class Tracer:
+    """Records spans into a tree; optionally stamps virtual times."""
+
+    def __init__(self, clock: ClockLike | None = None) -> None:
+        self._clock = clock
+        self._next_id = 1
+        self._stack: list[Span] = []
+        self.spans: list[Span] = []
+
+    # -- recording -----------------------------------------------------------
+
+    def start(self, name: str) -> Span:
+        """Open a span as a child of the innermost open span."""
+        parent = self._stack[-1].span_id if self._stack else None
+        span = Span(span_id=self._next_id, parent_id=parent, name=name)
+        self._next_id += 1
+        if self._clock is not None:
+            span.start_ms = self._clock.now
+        self._stack.append(span)
+        self.spans.append(span)
+        return span
+
+    def end(self, span: Span) -> None:
+        """Close a span (must be the innermost open one)."""
+        if not self._stack or self._stack[-1] is not span:
+            raise ObservabilityError(
+                f"span {span.name!r} is not the innermost open span"
+            )
+        self._stack.pop()
+        if self._clock is not None:
+            span.end_ms = self._clock.now
+
+    @contextmanager
+    def span(self, name: str) -> Iterator[Span]:
+        """``with tracer.span("decode"):`` convenience wrapper."""
+        opened = self.start(name)
+        try:
+            yield opened
+        finally:
+            self.end(opened)
+
+    def reset(self) -> None:
+        """Drop every recorded span (open spans included)."""
+        self._next_id = 1
+        self._stack.clear()
+        self.spans.clear()
+
+    # -- inspection ----------------------------------------------------------
+
+    def find(self, name: str) -> list[Span]:
+        """Every recorded span with the given name, in creation order."""
+        return [span for span in self.spans if span.name == name]
+
+    def attr_total(self, span_name: str, key: str) -> float:
+        """Sum of one numeric attribute across every span of a name."""
+        total: float = 0
+        for span in self.find(span_name):
+            value = span.attrs.get(key, 0)
+            if isinstance(value, str):
+                raise ObservabilityError(
+                    f"span attribute {key!r} holds a string, cannot sum"
+                )
+            total += value
+        return total
+
+    def to_dicts(self) -> list[dict[str, object]]:
+        """Every span as a JSON-ready dict, in creation order."""
+        return [span.to_dict() for span in self.spans]

@@ -13,7 +13,7 @@ carry — the property experiment E10 contrasts with recompute baselines.
 
 from __future__ import annotations
 
-from typing import Iterable
+from typing import TYPE_CHECKING, Iterable
 
 from repro.exceptions import QueryError
 from repro.graphs.graph import Graph
@@ -27,20 +27,33 @@ from repro.labeling.decoder import (
 from repro.labeling.encoding import decode_label, encode_label
 from repro.labeling.scheme import ForbiddenSetLabeling
 
+if TYPE_CHECKING:
+    from repro.obs.registry import Registry
+    from repro.obs.trace import Tracer
+
 
 class ForbiddenSetDistanceOracle:
-    """Centralized ``(1+ε)``-approximate forbidden-set distance oracle."""
+    """Centralized ``(1+ε)``-approximate forbidden-set distance oracle.
+
+    Optional ``obs`` (a :class:`repro.obs.Registry`) and ``tracer``
+    hooks record query counts, label decodes and memo hits, and trace
+    the decode pipeline.  Both default to off and never change answers.
+    """
 
     def __init__(
         self,
         graph: Graph,
         epsilon: float,
         options: LabelingOptions | None = None,
+        obs: "Registry | None" = None,
+        tracer: "Tracer | None" = None,
     ) -> None:
         scheme = ForbiddenSetLabeling(graph, epsilon, options=options)
         self._epsilon = epsilon
         self._num_vertices = graph.num_vertices
         self._edge_set = {(min(u, v), max(u, v)) for u, v in graph.edges()}
+        self._obs = obs
+        self._tracer = tracer
         self._table: list[bytes] = [
             encode_label(scheme.label(v)) for v in graph.vertices()
         ]
@@ -69,18 +82,36 @@ class ForbiddenSetDistanceOracle:
             if (a, b) not in self._edge_set:
                 raise QueryError(f"forbidden edge ({a}, {b}) is not in the graph")
         memo: dict[int, object] = {}
+        memo_hits = 0
 
         def load(vertex: int):
+            nonlocal memo_hits
             label = memo.get(vertex)
             if label is None:
                 label = memo[vertex] = self._load(vertex)
+            else:
+                memo_hits += 1
             return label
 
         faults = FaultSet(
             vertex_labels=[load(f) for f in vertex_faults],
             edge_labels=[(load(a), load(b)) for a, b in edge_faults],
         )
-        return decode_distance(load(s), load(t), faults)
+        result = decode_distance(load(s), load(t), faults, tracer=self._tracer)
+        if self._obs is not None:
+            self._obs.counter(
+                "repro_oracle_queries_total",
+                "Forbidden-set distance queries answered by the oracle.",
+            ).inc()
+            self._obs.counter(
+                "repro_oracle_label_decodes_total",
+                "Serialized labels deserialized while answering queries.",
+            ).inc(len(memo))
+            self._obs.counter(
+                "repro_oracle_memo_hits_total",
+                "Label loads served from the per-query memo.",
+            ).inc(memo_hits)
+        return result
 
     def size_bits(self) -> int:
         """Total storage of the oracle in bits (n encoded labels)."""

@@ -39,7 +39,7 @@ import io
 import math
 import struct
 import zlib
-from typing import BinaryIO, Iterable
+from typing import TYPE_CHECKING, BinaryIO, Iterable
 
 from repro.durability.atomic import atomic_write_path
 from repro.exceptions import (
@@ -56,6 +56,9 @@ from repro.labeling.decoder import (
 )
 from repro.labeling.encoding import DECODE_ERRORS, decode_label, encode_label
 from repro.labeling.label import VertexLabel
+
+if TYPE_CHECKING:
+    from repro.obs.trace import Tracer
 
 _MAGIC = b"FSDL"
 _V1 = 1
@@ -322,12 +325,14 @@ class LabelDatabase:
         t: int,
         vertex_faults: Iterable[int] = (),
         edge_faults: Iterable[tuple[int, int]] = (),
+        tracer: "Tracer | None" = None,
     ) -> QueryResult:
         """Forbidden-set distance query served from the stored bytes.
 
         Fault inputs are deduplicated (repeated vertices, both
         orientations of an edge) and each stored label is decoded at
-        most once per query.
+        most once per query.  A ``tracer`` records the decode pipeline
+        as a span tree without changing the answer.
         """
         vertex_faults, edge_faults = normalize_faults(vertex_faults, edge_faults)
         memo: dict[int, object] = {}
@@ -342,7 +347,7 @@ class LabelDatabase:
             vertex_labels=[load(f) for f in vertex_faults],
             edge_labels=[(load(a), load(b)) for a, b in edge_faults],
         )
-        return decode_distance(load(s), load(t), faults)
+        return decode_distance(load(s), load(t), faults, tracer=tracer)
 
     def connectivity(
         self,

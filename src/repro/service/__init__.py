@@ -28,6 +28,7 @@ from repro.service.client import (
     RetryPolicy,
 )
 from repro.service.frontend import (
+    DegradationReason,
     MissingLabel,
     QueryOutcome,
     QueryService,
@@ -44,6 +45,7 @@ __all__ = [
     "BreakerPolicy",
     "CircuitBreaker",
     "ClientMetrics",
+    "DegradationReason",
     "FetchOutcome",
     "FetchResult",
     "MissingLabel",

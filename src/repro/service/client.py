@@ -28,11 +28,15 @@ degraded answer.  Nothing here ever fabricates label bytes.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable
 
 from repro.exceptions import DeadlineExceededError, LabelFetchError
 from repro.service.clock import VirtualClock
 from repro.service.store import ShardedLabelStore
 from repro.util.rng import RngLike, make_rng
+
+if TYPE_CHECKING:
+    from repro.obs.registry import Registry
 
 
 @dataclass(frozen=True)
@@ -58,12 +62,22 @@ class BreakerPolicy:
 
 
 class CircuitBreaker:
-    """One shard's breaker: closed → open → half-open probe → closed."""
+    """One shard's breaker: closed → open → half-open probe → closed.
+
+    ``listener`` (if set) is called with ``"trip"``, ``"close"`` or
+    ``"probe"`` on every state transition — the observability layer
+    hangs per-shard transition counters off it without the breaker
+    knowing about metrics.
+    """
 
     __slots__ = ("policy", "consecutive_failures", "_open", "_reopen_at",
-                 "trips", "closes", "probes")
+                 "trips", "closes", "probes", "listener")
 
-    def __init__(self, policy: BreakerPolicy) -> None:
+    def __init__(
+        self,
+        policy: BreakerPolicy,
+        listener: Callable[[str], None] | None = None,
+    ) -> None:
         self.policy = policy
         self.consecutive_failures = 0
         self._open = False
@@ -71,6 +85,13 @@ class CircuitBreaker:
         self.trips = 0
         self.closes = 0
         self.probes = 0
+        self.listener = listener
+
+    def record_probe(self) -> None:
+        """Note that a half-open probe fetch is being issued."""
+        self.probes += 1
+        if self.listener is not None:
+            self.listener("probe")
 
     def state(self, now: float) -> str:
         """``"closed"``, ``"open"`` or ``"half_open"`` (probe allowed)."""
@@ -91,6 +112,8 @@ class CircuitBreaker:
         if self._open:
             self.closes += 1
             self._open = False
+            if self.listener is not None:
+                self.listener("close")
         self.consecutive_failures = 0
 
     def record_failure(self, now: float) -> None:
@@ -104,6 +127,8 @@ class CircuitBreaker:
             self._open = True
             self._reopen_at = now + self.policy.cooldown_ms
             self.trips += 1
+            if self.listener is not None:
+                self.listener("trip")
 
 
 @dataclass
@@ -174,6 +199,7 @@ class ResilientLabelClient:
         breaker: BreakerPolicy | None = None,
         default_deadline_ms: float = 120.0,
         seed: RngLike = None,
+        obs: "Registry | None" = None,
     ) -> None:
         self._store = store
         self.clock = clock or VirtualClock()
@@ -181,11 +207,31 @@ class ResilientLabelClient:
         self.breaker_policy = breaker or BreakerPolicy()
         self.default_deadline_ms = default_deadline_ms
         self._rng = make_rng(seed)
+        self.obs = obs
         self._breakers = [
-            CircuitBreaker(self.breaker_policy)
-            for _ in range(store.num_shards)
+            CircuitBreaker(
+                self.breaker_policy,
+                listener=self._breaker_listener(shard),
+            )
+            for shard in range(store.num_shards)
         ]
         self.metrics = ClientMetrics()
+
+    def _breaker_listener(
+        self, shard: int
+    ) -> Callable[[str], None] | None:
+        if self.obs is None:
+            return None
+        obs = self.obs
+
+        def on_transition(transition: str) -> None:
+            obs.counter(
+                "repro_breaker_transitions_total",
+                "Circuit-breaker state transitions (trip/close/probe).",
+                shard=shard, transition=transition,
+            ).inc()
+
+        return on_transition
 
     # -- introspection ------------------------------------------------------
 
@@ -281,11 +327,13 @@ class ResilientLabelClient:
                 if result.hedged and result.winner == hedge_shard:
                     metrics.hedge_wins += 1
                 self._sync_breaker_metrics()
-                return FetchOutcome(
+                outcome = FetchOutcome(
                     vertex=vertex, data=result.data, error=None,
                     attempts=attempts, retries=retries, hedges=hedges,
                     latency_ms=self.clock.now - start,
                 )
+                self._observe_fetch(outcome)
+                return outcome
             last_error = result.error or "unavailable"
             # backoff between replica rotations, not between failovers
             rotation += 1
@@ -296,11 +344,39 @@ class ResilientLabelClient:
                     self.clock.advance(backoff)
         metrics.fetch_failures += 1
         self._sync_breaker_metrics()
-        return FetchOutcome(
+        outcome = FetchOutcome(
             vertex=vertex, data=None, error=last_error, attempts=attempts,
             retries=retries, hedges=hedges,
             latency_ms=self.clock.now - start,
         )
+        self._observe_fetch(outcome)
+        return outcome
+
+    def _observe_fetch(self, outcome: FetchOutcome) -> None:
+        """Mirror one logical fetch into the obs registry (if attached)."""
+        if self.obs is None:
+            return
+        self.obs.counter(
+            "repro_client_fetches_total",
+            "Logical label fetches by outcome (ok or the error code).",
+            outcome="ok" if outcome.ok else (outcome.error or "unavailable"),
+        ).inc()
+        self.obs.counter(
+            "repro_client_attempts_total",
+            "Physical shard fetch attempts issued by the client.",
+        ).inc(outcome.attempts)
+        self.obs.counter(
+            "repro_client_retries_total",
+            "Replica-rotation retries across logical fetches.",
+        ).inc(outcome.retries)
+        self.obs.counter(
+            "repro_client_hedges_total",
+            "Hedged (duplicate) reads fired at a second replica.",
+        ).inc(outcome.hedges)
+        self.obs.histogram(
+            "repro_fetch_latency_ms",
+            "Logical fetch latency in virtual milliseconds.",
+        ).observe(outcome.latency_ms)
 
     # -- internals ----------------------------------------------------------
 
@@ -357,7 +433,7 @@ class ResilientLabelClient:
         now = self.clock.now
         breaker = self._breakers[primary]
         if breaker.state(now) == "half_open":
-            breaker.probes += 1
+            breaker.record_probe()
         primary_res = self._store.fetch(primary, vertex)
         completions = [(primary, primary_res, primary_res.latency_ms)]
         hedge_after = self.retry.hedge_after_ms

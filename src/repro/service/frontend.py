@@ -34,6 +34,8 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
+from enum import Enum
+from typing import TYPE_CHECKING
 
 from repro.exceptions import QueryError
 from repro.labeling.decoder import (
@@ -45,6 +47,30 @@ from repro.labeling.encoding import DECODE_ERRORS, decode_label
 from repro.service.client import ResilientLabelClient
 from repro.service.clock import VirtualClock
 from repro.service.store import ShardedLabelStore
+
+if TYPE_CHECKING:
+    from repro.obs.registry import Registry
+    from repro.obs.trace import Tracer
+
+
+class DegradationReason(str, Enum):
+    """Why an answer is degraded — a closed vocabulary, not prose.
+
+    The members inherit from ``str``, so existing comparisons against
+    the literal strings (``outcome.reason == "endpoint_unavailable"``)
+    and f-string interpolation keep working; new code should compare
+    against the enum members and get typo-safety for free.
+    """
+
+    #: an endpoint (``s`` or ``t``) label could not be fetched —
+    #: nothing can be certified
+    ENDPOINT_UNAVAILABLE = "endpoint_unavailable"
+    #: only fault labels are missing — the subset answer certifies a
+    #: lower bound
+    FAULT_LABELS_UNAVAILABLE = "fault_labels_unavailable"
+
+    def __str__(self) -> str:
+        return self.value
 
 
 @dataclass(frozen=True)
@@ -73,7 +99,7 @@ class QueryOutcome:
     status: str  # "exact" | "degraded"
     distance: float | None
     lower_bound: float
-    reason: str | None
+    reason: DegradationReason | None
     missing: tuple[MissingLabel, ...]
     retry_suggested: bool
     latency_ms: float
@@ -117,15 +143,24 @@ class QueryService:
         stretch_bound: float,
         client: ResilientLabelClient | None = None,
         default_deadline_ms: float = 120.0,
+        obs: "Registry | None" = None,
+        tracer: "Tracer | None" = None,
         **client_kwargs,
     ) -> None:
         if stretch_bound < 1.0:
             raise QueryError(f"stretch bound {stretch_bound} below 1")
         self._store = store
         self.stretch_bound = stretch_bound
-        self.client = client or ResilientLabelClient(
-            store, default_deadline_ms=default_deadline_ms, **client_kwargs
-        )
+        self.obs = obs
+        self.tracer = tracer
+        if client is None:
+            client = ResilientLabelClient(
+                store, default_deadline_ms=default_deadline_ms, obs=obs,
+                **client_kwargs,
+            )
+        self.client = client
+        if obs is not None:
+            store.attach_observability(obs)
         self.default_deadline_ms = default_deadline_ms
         self.metrics = ServiceMetrics()
 
@@ -200,6 +235,25 @@ class QueryService:
         deadline_ms: float | None = None,
     ) -> QueryOutcome:
         """Answer one query within a virtual-time deadline budget."""
+        if self.tracer is None:
+            return self._query(s, t, vertex_faults, edge_faults, deadline_ms)
+        with self.tracer.span("service.query") as span:
+            outcome = self._query(s, t, vertex_faults, edge_faults, deadline_ms)
+            span.set("status", outcome.status)
+            if outcome.reason is not None:
+                span.set("reason", str(outcome.reason))
+            span.set("attempts", outcome.attempts)
+            span.set("missing_labels", len(outcome.missing))
+            return outcome
+
+    def _query(
+        self,
+        s: int,
+        t: int,
+        vertex_faults=(),
+        edge_faults=(),
+        deadline_ms: float | None = None,
+    ) -> QueryOutcome:
         metrics = self.metrics
         start = self.clock.now
         vertex_faults, edge_faults = normalize_faults(
@@ -226,34 +280,54 @@ class QueryService:
         labels: dict[int, object] = {}
         missing: list[MissingLabel] = []
         attempts = retries = hedges = 0
-        for vertex, role in roles.items():
-            remaining = deadline - self.clock.now
-            if remaining <= 0:
-                missing.append(MissingLabel(vertex, role, "deadline"))
-                continue
-            outcome = self.client.fetch_label(vertex, remaining)
-            attempts += outcome.attempts
-            retries += outcome.retries
-            hedges += outcome.hedges
-            if not outcome.ok:
-                missing.append(MissingLabel(vertex, role, outcome.error))
-                continue
-            try:
-                labels[vertex] = decode_label(outcome.data)
-            except DECODE_ERRORS as exc:
-                # CRC passed but the bytes do not decode
-                # (LabelCorruptionError included): surface it as a fetch
-                # failure feeding an explicitly degraded outcome, never
-                # as a guessed label
-                metrics.decode_failures += 1
-                missing.append(
-                    MissingLabel(vertex, role, f"undecodable: {exc!r}")
-                )
+        fetch_span = (
+            self.tracer.start("service.fetch_labels")
+            if self.tracer is not None else None
+        )
+        try:
+            for vertex, role in roles.items():
+                remaining = deadline - self.clock.now
+                if remaining <= 0:
+                    missing.append(MissingLabel(vertex, role, "deadline"))
+                    continue
+                outcome = self.client.fetch_label(vertex, remaining)
+                attempts += outcome.attempts
+                retries += outcome.retries
+                hedges += outcome.hedges
+                if not outcome.ok:
+                    missing.append(MissingLabel(vertex, role, outcome.error))
+                    continue
+                try:
+                    labels[vertex] = decode_label(outcome.data)
+                except DECODE_ERRORS as exc:
+                    # CRC passed but the bytes do not decode
+                    # (LabelCorruptionError included): surface it as a fetch
+                    # failure feeding an explicitly degraded outcome, never
+                    # as a guessed label
+                    metrics.decode_failures += 1
+                    if self.obs is not None:
+                        self.obs.counter(
+                            "repro_decode_failures_total",
+                            "Fetched label bytes that failed to decode.",
+                        ).inc()
+                    missing.append(
+                        MissingLabel(vertex, role, f"undecodable: {exc!r}")
+                    )
+            if fetch_span is not None:
+                fetch_span.set("labels_needed", len(roles))
+                fetch_span.set("labels_fetched", len(labels))
+                fetch_span.set("attempts", attempts)
+                fetch_span.set("retries", retries)
+                fetch_span.set("hedges", hedges)
+        finally:
+            if fetch_span is not None:
+                self.tracer.end(fetch_span)
 
         if s not in labels or t not in labels:
             return self._record(QueryOutcome(
                 s=s, t=t, status="degraded", distance=None, lower_bound=0.0,
-                reason="endpoint_unavailable", missing=tuple(missing),
+                reason=DegradationReason.ENDPOINT_UNAVAILABLE,
+                missing=tuple(missing),
                 retry_suggested=True, latency_ms=self.clock.now - start,
                 attempts=attempts, retries=retries, hedges=hedges,
             ))
@@ -268,7 +342,9 @@ class QueryService:
                 if a in labels and b in labels
             ],
         )
-        result = decode_distance(labels[s], labels[t], available)
+        result = decode_distance(
+            labels[s], labels[t], available, tracer=self.tracer
+        )
         if not missing:
             return self._record(QueryOutcome(
                 s=s, t=t, status="exact", distance=result.distance,
@@ -285,7 +361,8 @@ class QueryService:
         )
         return self._record(QueryOutcome(
             s=s, t=t, status="degraded", distance=None, lower_bound=lower,
-            reason="fault_labels_unavailable", missing=tuple(missing),
+            reason=DegradationReason.FAULT_LABELS_UNAVAILABLE,
+            missing=tuple(missing),
             retry_suggested=True, latency_ms=self.clock.now - start,
             attempts=attempts, retries=retries, hedges=hedges,
         ))
@@ -296,6 +373,17 @@ class QueryService:
         else:
             self.metrics.degraded_answers += 1
         self.metrics.latencies_ms.append(outcome.latency_ms)
+        if self.obs is not None:
+            self.obs.counter(
+                "repro_queries_total",
+                "Frontend queries answered, by status and reason.",
+                status=outcome.status,
+                reason="" if outcome.reason is None else str(outcome.reason),
+            ).inc()
+            self.obs.histogram(
+                "repro_query_latency_ms",
+                "End-to-end query latency in virtual milliseconds.",
+            ).observe(outcome.latency_ms)
         return outcome
 
     # -- reporting ----------------------------------------------------------

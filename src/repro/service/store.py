@@ -33,6 +33,7 @@ from typing import TYPE_CHECKING, Sequence
 
 if TYPE_CHECKING:
     from repro.durability.recovery import RecoveryReport
+    from repro.obs.registry import Registry
 
 from repro.exceptions import LabelCorruptionError, QueryError, ServiceError
 from repro.util.rng import RngLike, make_rng
@@ -129,6 +130,8 @@ class ShardedLabelStore:
         self._fs = None
         self._durability_root: str | None = None
         self._tables: list = []
+        # metrics registry: attached via attach_observability()
+        self._obs: "Registry | None" = None
 
     # -- construction -------------------------------------------------------
 
@@ -206,6 +209,26 @@ class ShardedLabelStore:
         if not 0 <= shard < self._num_shards:
             raise QueryError(f"shard {shard} out of range")
 
+    # -- observability -------------------------------------------------------
+
+    def attach_observability(self, obs: "Registry | None") -> None:
+        """Mirror fetch outcomes and shard events into ``obs``.
+
+        Idempotent; also threads the registry into any already-attached
+        durability tables so WAL appends and compactions are counted.
+        """
+        self._obs = obs
+        for table in self._tables:
+            table.obs = obs
+
+    def _count_fetch(self, shard: int, outcome: str) -> None:
+        if self._obs is not None:
+            self._obs.counter(
+                "repro_shard_fetch_total",
+                "Physical shard fetches by shard and outcome.",
+                shard=shard, outcome=outcome,
+            ).inc()
+
     # -- serving ------------------------------------------------------------
 
     def fetch(self, shard: int, vertex: int) -> FetchResult:
@@ -216,6 +239,11 @@ class ShardedLabelStore:
         client needs failure latencies for hedging and failover math.
         """
         self._check_shard(shard)
+        result = self._fetch(shard, vertex)
+        self._count_fetch(shard, "ok" if result.ok else (result.error or "?"))
+        return result
+
+    def _fetch(self, shard: int, vertex: int) -> FetchResult:
         health = self._health[shard]
         if health.crashed:
             # process is dead: fails fast until a restart recovers it
@@ -272,7 +300,9 @@ class ShardedLabelStore:
 
         tables = []
         for shard in range(self._num_shards):
-            table = DurableLabelTable.create(fs, f"{root}/shard-{shard}")
+            table = DurableLabelTable.create(
+                fs, f"{root}/shard-{shard}", obs=self._obs
+            )
             pristine = self._pristine[shard]
             for vertex in sorted(pristine):
                 record = pristine[vertex]
@@ -310,7 +340,9 @@ class ShardedLabelStore:
         self._check_shard(shard)
         self._require_durability("restart")
         directory = f"{self._durability_root}/shard-{shard}"
-        table, report = RecoveryManager(self._fs).recover(directory)
+        table, report = RecoveryManager(
+            self._fs, obs=self._obs
+        ).recover(directory)
         records: dict[int, bytes | None] = {}
         for vertex in sorted(self._pristine[shard]):
             payload = table.get(vertex)
@@ -416,6 +448,12 @@ class ShardedLabelStore:
         kind = event.kind
         if kind not in SHARD_EVENT_KINDS:
             raise QueryError(f"not a shard event: {kind!r}")
+        if self._obs is not None:
+            self._obs.counter(
+                "repro_shard_events_total",
+                "Shard-level chaos events applied to the store.",
+                kind=kind,
+            ).inc()
         if kind == "shard_down":
             self.set_down(event.shard)
         elif kind == "shard_recover":

@@ -146,3 +146,65 @@ class TestChaosCommands:
         ) == 0
         out = capsys.readouterr().out
         assert "0 hedges" in out
+
+
+class TestObsCommands:
+    def test_metrics_prometheus_output(self, capsys):
+        assert main(["metrics", "--schedules", "2", "--events", "20"]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE repro_queries_total counter" in out
+        assert "repro_chaos_events_total{" in out
+        assert "repro_query_latency_ms_bucket{" in out
+
+    def test_metrics_json_is_deterministic(self, capsys):
+        import json
+
+        argv = ["metrics", "--schedules", "2", "--events", "20",
+                "--format", "json"]
+        assert main(argv) == 0
+        one = capsys.readouterr().out
+        assert main(argv) == 0
+        two = capsys.readouterr().out
+        assert one == two
+        payload = json.loads(one)
+        names = {series["name"] for series in payload["metrics"]}
+        assert "repro_queries_total" in names
+
+    def test_trace_text_shows_span_tree(self, tmp_path, capsys):
+        db_path = str(tmp_path / "labels.fsdl")
+        main(["build", "grid:4x4", "-o", db_path])
+        capsys.readouterr()
+        assert main(
+            ["trace", db_path, "-s", "0", "-t", "15", "--fail-vertex", "5"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "decode" in out
+        assert "decode.dijkstra" in out
+        assert "nodes_settled=" in out
+
+    def test_trace_json_round_trips(self, tmp_path, capsys):
+        import json
+
+        db_path = str(tmp_path / "labels.fsdl")
+        main(["build", "cycle:12", "-o", db_path])
+        capsys.readouterr()
+        assert main(
+            ["trace", db_path, "-s", "0", "-t", "6", "--format", "json"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        names = [span["name"] for span in payload["spans"]]
+        assert "decode" in names
+        assert "decode.dijkstra" in names
+
+    def test_bench_emits_artifact(self, tmp_path, capsys):
+        import json
+
+        emit = str(tmp_path / "BENCH.json")
+        assert main(
+            ["bench", "--queries", "10", "--repeats", "1", "--emit", emit]
+        ) == 0
+        capsys.readouterr()
+        with open(emit, encoding="utf-8") as handle:
+            payload = json.load(handle)
+        assert payload["bench"] == "obs_decode_overhead"
+        assert payload["deterministic"]["decode_spans"] == 10

@@ -1,0 +1,78 @@
+"""Golden-trace regression test for the observed serve-chaos battery.
+
+The observability layer promises *bit-determinism*: a seeded chaos
+battery with every hook live must export byte-identical metrics JSON
+on every run, on every host.  ``tests/golden/serve_chaos_metrics.json``
+pins one such export; any drift in event scheduling, retry policy,
+metric arithmetic or exporter rendering shows up here as a readable
+JSON diff instead of a silent behavior change.
+
+Updating the golden (only after deliberately changing observed
+behavior — never to paper over nondeterminism):
+
+    PYTHONPATH=src python - <<'EOF'
+    from repro.obs.harness import battery_metrics_json
+    text = battery_metrics_json(num_schedules=4, num_events=30, seed=0)
+    with open("tests/golden/serve_chaos_metrics.json", "w") as fh:
+        fh.write(text + "\n")
+    EOF
+
+then inspect the diff and explain it in the commit message.  The same
+recipe is documented in docs/observability.md.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.obs.harness import battery_metrics_json, observed_service_battery
+
+GOLDEN_PATH = Path(__file__).parent / "golden" / "serve_chaos_metrics.json"
+
+GOLDEN_SCHEDULES = 4
+GOLDEN_EVENTS = 30
+GOLDEN_SEED = 0
+
+
+def golden_export() -> str:
+    return battery_metrics_json(
+        num_schedules=GOLDEN_SCHEDULES,
+        num_events=GOLDEN_EVENTS,
+        seed=GOLDEN_SEED,
+    )
+
+
+def test_export_matches_committed_golden():
+    fresh = golden_export()
+    committed = GOLDEN_PATH.read_text(encoding="utf-8").rstrip("\n")
+    if fresh != committed:
+        fresh_obj = json.loads(fresh)
+        committed_obj = json.loads(committed)
+        fresh_names = set(fresh_obj["metrics"])
+        committed_names = set(committed_obj["metrics"])
+        pytest.fail(
+            "metrics export drifted from tests/golden/serve_chaos_metrics.json"
+            f" (added: {sorted(fresh_names - committed_names)},"
+            f" removed: {sorted(committed_names - fresh_names)},"
+            " changed values: diff the file; update path in module docstring)"
+        )
+
+
+def test_golden_battery_is_clean():
+    registry, reports = observed_service_battery(
+        num_schedules=GOLDEN_SCHEDULES,
+        num_events=GOLDEN_EVENTS,
+        seed=GOLDEN_SEED,
+    )
+    assert all(not report.violations for report in reports)
+    assert registry.total("repro_queries_total") > 0
+    assert registry.total("repro_chaos_violations_total") == 0
+
+
+def test_acceptance_battery_bit_identical_across_runs():
+    """ISSUE 5 acceptance: the full 20-schedule battery, run twice,
+    exports byte-identical metrics JSON."""
+    one = battery_metrics_json(num_schedules=20, num_events=60, seed=0)
+    two = battery_metrics_json(num_schedules=20, num_events=60, seed=0)
+    assert one == two

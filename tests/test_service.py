@@ -20,6 +20,7 @@ from repro.oracle.persistence import LabelDatabase, save_labels
 from repro.service import (
     BreakerPolicy,
     CircuitBreaker,
+    DegradationReason,
     QueryService,
     ResilientLabelClient,
     RetryPolicy,
@@ -497,3 +498,33 @@ class TestQuarantineServing:
         assert outcome.exact
         d_true = pristine.query(6, 24, vertex_faults=[12])
         assert d_true <= outcome.distance <= 2 * d_true
+
+
+class TestDegradationReason:
+    """The degradation vocabulary is a stable enum, string-compatible."""
+
+    def test_members_are_stable(self):
+        assert {reason.value for reason in DegradationReason} == {
+            "endpoint_unavailable",
+            "fault_labels_unavailable",
+        }
+
+    def test_string_compatibility(self):
+        reason = DegradationReason.ENDPOINT_UNAVAILABLE
+        assert reason == "endpoint_unavailable"
+        assert str(reason) == "endpoint_unavailable"
+        assert f"{reason}" == "endpoint_unavailable"
+        assert isinstance(reason, str)
+
+    def test_outcome_carries_enum_member(self):
+        graph = grid_graph(4, 4)
+        oracle = ForbiddenSetDistanceOracle(graph, epsilon=1.0)
+        service = QueryService.from_oracle(
+            oracle, num_shards=4, replication=2, store_seed=5, seed=7
+        )
+        healthy = service.query(0, 15)
+        assert healthy.reason is None
+        for shard in service.store.replicas(0):
+            service.store.set_down(shard)
+        outcome = service.query(0, 15)
+        assert outcome.reason is DegradationReason.ENDPOINT_UNAVAILABLE
