@@ -48,6 +48,10 @@ SERVICE_EVENT_KINDS = frozenset({
     "shard_corrupt",
     "shard_crash",
     "shard_restart",
+    "rollout_begin",
+    "rollout_commit",
+    "rollout_abort",
+    "rollout_crash",
     "query",
     "advance",
 })
@@ -72,6 +76,13 @@ class ChaosEvent:
     corrupted fraction); ``query`` carries ``(s, t)`` plus optional
     ``faults`` / ``fault_edges``; ``advance`` carries ``latency_ms``
     of virtual time to let pass (cooldowns, backoff windows).
+
+    Rollout (blue/green label-generation) events: ``rollout_begin``
+    and ``rollout_crash`` carry ``edge`` — the graph edge the new
+    generation removes; ``rollout_commit`` / ``rollout_abort`` resolve
+    the staged generation.  ``rollout_crash`` runs the whole
+    stage+commit under a crash armed at a seeded mid-rollout
+    filesystem op, then recovers through the manifest.
     """
 
     kind: str
@@ -104,6 +115,8 @@ class ChaosEvent:
             and self.shard is None
         ):
             raise QueryError(f"{self.kind} event needs a shard")
+        if self.kind in ("rollout_begin", "rollout_crash") and self.edge is None:
+            raise QueryError(f"{self.kind} event needs an edge")
         if self.kind in ("shard_slow", "advance") and (
             self.latency_ms is None or self.latency_ms <= 0
         ):
@@ -225,6 +238,36 @@ class FaultPlan:
     def shard_restart(self, shard: int) -> "FaultPlan":
         """Schedule a shard restart: reload-from-disk through recovery."""
         self.events.append(ChaosEvent(kind="shard_restart", shard=shard))
+        return self
+
+    def rollout_begin(self, a: int, b: int) -> "FaultPlan":
+        """Schedule staging a new label generation with edge (a, b) removed."""
+        self.events.append(
+            ChaosEvent(kind="rollout_begin", edge=(min(a, b), max(a, b)))
+        )
+        return self
+
+    def rollout_commit(self) -> "FaultPlan":
+        """Schedule committing the staged label generation."""
+        self.events.append(ChaosEvent(kind="rollout_commit"))
+        return self
+
+    def rollout_abort(self) -> "FaultPlan":
+        """Schedule aborting (sweeping) the staged label generation."""
+        self.events.append(ChaosEvent(kind="rollout_abort"))
+        return self
+
+    def rollout_crash(self, a: int, b: int) -> "FaultPlan":
+        """Schedule a rollout of edge-(a, b) removal that crashes mid-flight.
+
+        The runner arms the store's filesystem to die at a seeded op
+        inside the stage+commit window, collapses volatile state, and
+        recovers through the manifest — queries afterwards must answer
+        for exactly one committed generation.
+        """
+        self.events.append(
+            ChaosEvent(kind="rollout_crash", edge=(min(a, b), max(a, b)))
+        )
         return self
 
     def query(

@@ -36,11 +36,17 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
 from repro.chaos.plan import ChaosEvent, FaultPlan, SERVICE_EVENT_KINDS
-from repro.durability.fs import SimulatedFS
-from repro.exceptions import ReproError
+from repro.durability.fs import CRASH_MODES, SimulatedFS
+from repro.exceptions import ReproError, SimulatedCrashError
 from repro.graphs.graph import Graph
 from repro.graphs.traversal import bfs_distances_avoiding
 from repro.labeling import ForbiddenSetLabeling
+from repro.rollout import (
+    GraphChange,
+    IncrementalRelabeler,
+    RolloutCoordinator,
+    repair_manifest,
+)
 from repro.service import QueryService
 from repro.util.rng import make_rng
 
@@ -109,6 +115,15 @@ class ServiceChaosRunner:
         self._plan = plan
         self._final_probes = final_probes
         self._obs = obs
+        self._epsilon = epsilon
+        # rollout state: the graph matching the committed label
+        # generation (queries are judged against it), lazily built
+        # relabeler/coordinator, and the staged-but-unresolved plan
+        self._current_graph = graph
+        self._relabeler: IncrementalRelabeler | None = None
+        self._coordinator: RolloutCoordinator | None = None
+        self._pending: "tuple[int, object] | None" = None
+        self._next_version = 1
         scheme = ForbiddenSetLabeling(graph, epsilon)
         self._stretch_bound = scheme.stretch_bound()
         self._service = QueryService.from_scheme(
@@ -174,6 +189,9 @@ class ServiceChaosRunner:
         if kind == "advance":
             self._service.clock.advance(event.latency_ms)
             return
+        if kind.startswith("rollout_"):
+            self._apply_rollout(index, event)
+            return
         self._service.store.apply_event(event, rng=self._event_rng)
         shard = event.shard
         if kind in ("shard_recover", "shard_restart"):
@@ -184,6 +202,127 @@ class ServiceChaosRunner:
                 kind.removeprefix("shard_")
             )
             self._ever_unhealthy.add(shard)
+
+    # -- rollout events ----------------------------------------------------
+
+    def _ensure_rollout(self) -> None:
+        if self._relabeler is None:
+            self._relabeler = IncrementalRelabeler(
+                self._graph, self._epsilon, obs=self._obs
+            )
+            self._coordinator = RolloutCoordinator(
+                self._service.store, obs=self._obs
+            )
+
+    def _apply_rollout(self, index: int, event: ChaosEvent) -> None:
+        self._ensure_rollout()
+        kind = event.kind
+        if kind == "rollout_begin":
+            self._rollout_begin(index, event)
+        elif kind == "rollout_commit":
+            self._rollout_resolve(index, commit=True)
+        elif kind == "rollout_abort":
+            self._rollout_resolve(index, commit=False)
+        else:
+            self._rollout_crash(index, event)
+
+    def _planned_change(self, index: int, event: ChaosEvent):
+        """The relabel plan for removing ``event.edge``, or None."""
+        a, b = event.edge
+        edge = (min(a, b), max(a, b))
+        if self._pending is not None:
+            self._violation(
+                index, f"{event.kind}: a rollout is already staged"
+            )
+            return None
+        if not self._current_graph.has_edge(*edge):
+            self._violation(
+                index,
+                f"{event.kind}: edge {edge} is not in the current graph",
+            )
+            return None
+        return self._relabeler.plan(GraphChange(removed_edges=(edge,)))
+
+    def _rollout_begin(self, index: int, event: ChaosEvent) -> None:
+        plan = self._planned_change(index, event)
+        if plan is None:
+            return
+        version = self._next_version
+        self._coordinator.stage(version, plan.encoded_labels())
+        self._pending = (version, plan)
+
+    def _rollout_resolve(self, index: int, commit: bool) -> None:
+        if self._pending is None:
+            self._violation(
+                index,
+                f"rollout_{'commit' if commit else 'abort'}: "
+                "no rollout is staged",
+            )
+            return
+        version, plan = self._pending
+        if commit:
+            self._coordinator.commit(version)
+            self._relabeler.commit(plan)
+            self._current_graph = plan.new_graph
+        else:
+            self._coordinator.abort(version)
+        self._pending = None
+        self._next_version = version + 1
+
+    def _rollout_crash(self, index: int, event: ChaosEvent) -> None:
+        """Stage+commit under an armed crash, then recover via the manifest.
+
+        Whichever side of the commit point the crash lands on, recovery
+        must leave the store serving exactly one committed generation —
+        and subsequent queries are judged against that generation's
+        graph.
+        """
+        plan = self._planned_change(index, event)
+        if plan is None:
+            return
+        store = self._service.store
+        fs = store.filesystem
+        if not isinstance(fs, SimulatedFS):
+            self._violation(
+                index, "rollout_crash needs a SimulatedFS-backed store"
+            )
+            return
+        version = self._next_version
+        fs.arm_crash(
+            fs.op_count + self._event_rng.randrange(1, 64),
+            self._event_rng.choice(CRASH_MODES),
+        )
+        crashed = False
+        try:
+            self._coordinator.stage(version, plan.encoded_labels())
+            self._coordinator.commit(version)
+        except SimulatedCrashError:
+            crashed = True
+        if not crashed:
+            # the seeded op landed past the rollout window: it completed
+            fs.disarm()
+            committed = version
+        else:
+            fs.crash()
+            manifest, _ = repair_manifest(fs, store.durability_root)
+            committed = manifest.committed_version
+            if version in store.versions:
+                # reconcile the in-memory generations with durable truth
+                if committed == version:
+                    store.commit_generation(version)
+                else:
+                    store.abort_generation(version)
+        if committed == version:
+            self._relabeler.commit(plan)
+            self._current_graph = plan.new_graph
+        # force a genuine reload-from-disk on every shard; restart
+        # clears every health condition, so mirror that in the shadow
+        for shard in range(store.num_shards):
+            store.crash(shard)
+            store.restart(shard)
+        self._shadow.clear()
+        self._pending = None
+        self._next_version = version + 1
 
     # -- invariant checks --------------------------------------------------
 
@@ -196,8 +335,11 @@ class ServiceChaosRunner:
             ).inc()
 
     def _true_distance(self, event: ChaosEvent) -> float:
+        # judged against the committed generation's graph: before a
+        # rollout commits this is the original graph, afterwards the
+        # changed one — pinned queries make the answer unambiguous
         dist = bfs_distances_avoiding(
-            self._graph,
+            self._current_graph,
             event.s,
             set(event.faults),
             {(min(a, b), max(a, b)) for a, b in event.fault_edges},

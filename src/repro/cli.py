@@ -11,6 +11,8 @@ Subcommands::
     python -m repro serve-chaos GRAPH_SPEC [--schedules 5] [--events 60] \
         [--shards 4] [--replication 2] [--no-hedging]
     python -m repro crash-battery [GRAPH_SPEC] [--seed 0] [--churn-rounds 3]
+    python -m repro rollout [GRAPH_SPEC] [--remove A-B] [--seed 0]
+    python -m repro rollout-battery [GRAPH_SPEC] [--seed 0] [--limit N]
     python -m repro experiment E1 [E5 ...] [--full]
     python -m repro lint [PATH ...] [--format text|json] [--select RPL001,...]
     python -m repro metrics [--schedules 20] [--events 60] [--seed 0] \
@@ -175,6 +177,7 @@ def cmd_fsck(args: argparse.Namespace) -> int:
         print("  likely cause: a crash mid-write; restore from the atomic "
               "save path or rebuild")
         return 2
+    manifest_status = _fsck_manifest(args.database)
     bad = db.verify()
     print(f"format:    v{db.version}")
     print(f"labels:    {db.num_vertices}")
@@ -182,6 +185,9 @@ def cmd_fsck(args: argparse.Namespace) -> int:
         print("warning:   v1 database has no checksums; only decode "
               "failures are detectable")
     if not bad:
+        if manifest_status != 0:
+            print("integrity: labels OK, but the rollout manifest is corrupt")
+            return 1
         print("integrity: OK")
         return 0
     print(f"integrity: {len(bad)} in-place corrupt label(s): "
@@ -190,6 +196,37 @@ def cmd_fsck(args: argparse.Namespace) -> int:
     for vertex, reason in sorted(db.quarantined.items())[:20]:
         print(f"  vertex {vertex}: {reason}")
     return 1
+
+
+def _fsck_manifest(database: str) -> int:
+    """Report the rollout manifest next to ``database``, if one exists.
+
+    A label database living inside a rollout root has a sibling
+    ``MANIFEST`` naming the committed label-table generation; surfacing
+    it here keeps ``fsck`` the one-stop integrity view.  Returns 0 when
+    there is no manifest or it decodes cleanly, 1 when it is corrupt.
+    """
+    import os
+
+    from repro.durability.fs import RealFS
+    from repro.exceptions import StorageCorruptionError
+    from repro.rollout.manifest import load_manifest, manifest_path
+
+    root = os.path.dirname(database) or "."
+    if not os.path.exists(manifest_path(root)):
+        return 0
+    try:
+        manifest = load_manifest(RealFS(), root)
+    except StorageCorruptionError as exc:
+        print(f"manifest:  CORRUPT — {exc}")
+        return 1
+    entry = manifest.committed_entry()
+    print(f"manifest:  generation {manifest.committed_version} committed "
+          f"({entry.num_shards} shard(s))")
+    for other in manifest.entries:
+        if other.version != manifest.committed_version:
+            print(f"           generation {other.version}: {other.state}")
+    return 0
 
 
 def cmd_chaos(args: argparse.Namespace) -> int:
@@ -258,6 +295,113 @@ def cmd_crash_battery(args: argparse.Namespace) -> int:
               "of acknowledged writes")
         return 0
     print(f"durability:   {len(report.violations)} VIOLATION(S)")
+    for line in report.violations[:30]:
+        print(f"  ! {line}")
+    if len(report.violations) > 30:
+        print(f"  ... and {len(report.violations) - 30} more")
+    return 1
+
+
+def cmd_rollout(args: argparse.Namespace) -> int:
+    """``repro rollout``: demo one incremental blue/green label rollout.
+
+    Plans an incremental relabeling for a single edge removal (seeded
+    unless ``--remove`` names the edge), validates it byte-for-byte
+    against a full rebuild, then stages and commits it as a new
+    generation on a simulated-disk store — spot-checking queries on
+    both sides of the commit.
+    """
+    from repro.durability.fs import SimulatedFS
+    from repro.graphs.traversal import bfs_distances
+    from repro.rollout import GraphChange, IncrementalRelabeler, RolloutCoordinator
+    from repro.rollout.battery import _pick_removable_edge
+    from repro.service.store import ShardedLabelStore
+
+    graph = parse_graph_spec(args.graph)
+    print(f"graph:     {graph!r}")
+    relabeler = IncrementalRelabeler(graph, args.epsilon)
+    if args.remove is not None:
+        edge = _parse_edge(args.remove)
+        edge = (min(edge), max(edge))
+    else:
+        edge = _pick_removable_edge(graph, args.seed)
+    print(f"change:    remove edge {edge}")
+    plan = relabeler.plan(GraphChange(removed_edges=(edge,)))
+    relabeler.validate(plan)
+    print(f"plan:      {plan.num_rebuilt} label(s) rebuilt, "
+          f"{plan.num_reused} reused — byte-validated against a full rebuild")
+
+    fs = SimulatedFS(seed=args.seed)
+    store = ShardedLabelStore(
+        relabeler.encoded_labels(), num_shards=args.shards, seed=args.seed
+    )
+    store.attach_durability(fs, "rollout-demo")
+    coordinator = RolloutCoordinator(store)
+    coordinator.stage(1, plan.encoded_labels())
+    print(f"staged:    generation 1 on {args.shards} shard(s) "
+          f"(committed is still {store.committed_version})")
+    coordinator.commit(1)
+    print("committed: generation 1 is live")
+
+    a, b = edge
+    truth = bfs_distances(plan.new_graph, a).get(b, math.inf)
+    shard = store.replicas(a)[0]
+    served = store.fetch(shard, a).data is not None
+    print(f"check:     d({a}, {b}) without the edge = {truth} "
+          f"(stretch bound {relabeler.stretch_bound:.2f}); "
+          f"shard {shard} serves vertex {a}: {served}")
+    return 0
+
+
+def cmd_rollout_battery(args: argparse.Namespace) -> int:
+    """``repro rollout-battery``: crash the rollout at every kill-point.
+
+    Stages and commits (resp. aborts) a new label generation on a
+    simulated disk, crashing at every filesystem op the rollout
+    crosses under every crash mode, and recovers through the manifest
+    each time.  Checks: recovery lands on exactly one committed
+    generation, every replica serves that generation's bytes (no
+    mixed-version answers), probe queries obey the stretch bound
+    against the committed graph's BFS truth, and incremental
+    relabeling rebuilds strictly fewer labels on a non-global change.
+    Exit code 0 only when every kill-point passes.
+    """
+    from repro.durability import CRASH_MODES
+    from repro.rollout.battery import SCHEDULES, exhaustive_rollout_battery
+
+    graph = parse_graph_spec(args.graph)
+    print(f"graph:        {graph!r}")
+    print(f"crash modes:  {', '.join(CRASH_MODES)}")
+    print(f"schedules:    {', '.join(SCHEDULES)}")
+    report = exhaustive_rollout_battery(
+        graph,
+        epsilon=args.epsilon,
+        seed=args.seed,
+        num_shards=args.shards,
+        replication=args.replication,
+        limit=args.limit,
+    )
+    ops = " + ".join(
+        f"{count} ({name})" for name, count in report.rollout_fs_ops.items()
+    )
+    print(f"change:       remove edge {report.removed_edge} "
+          f"({report.vertices} labels, {report.num_shards} shards, "
+          f"replication {report.replication})")
+    print(f"kill-points:  {ops} rollout ops × {len(CRASH_MODES)} modes "
+          f"= {report.kill_point_runs} crash runs"
+          f"{' (limited)' if args.limit is not None else ''}")
+    print(f"recoveries:   {report.crashes_fired} fired — "
+          f"{report.rollbacks} rolled back to generation 0, "
+          f"{report.resumes} resumed onto generation 1")
+    print(f"checks:       {report.label_checks} replica byte-comparisons, "
+          f"{report.probe_queries} probe queries vs BFS truth")
+    print(f"locality:     pendant removal rebuilt {report.locality_rebuilt}"
+          f"/{report.locality_vertices} labels")
+    if report.passed:
+        print("rollout:      OK — every kill-point recovered onto exactly "
+              "one committed generation")
+        return 0
+    print(f"rollout:      {len(report.violations)} VIOLATION(S)")
     for line in report.violations[:30]:
         print(f"  ! {line}")
     if len(report.violations) > 30:
@@ -540,6 +684,40 @@ def build_parser() -> argparse.ArgumentParser:
                            help="delete/re-put churn rounds in the workload")
     p_battery.add_argument("-e", "--epsilon", type=float, default=1.0)
     p_battery.set_defaults(func=cmd_crash_battery)
+
+    p_rollout = sub.add_parser(
+        "rollout",
+        help="demo an incremental blue/green label rollout on simulated disk",
+    )
+    p_rollout.add_argument(
+        "graph", nargs="?", default="grid:6x6",
+        help="graph spec for the rollout demo (default grid:6x6)",
+    )
+    p_rollout.add_argument("--remove", default=None, metavar="A-B",
+                           help="edge to remove (default: seeded choice)")
+    p_rollout.add_argument("--seed", type=int, default=0)
+    p_rollout.add_argument("--shards", type=int, default=4)
+    p_rollout.add_argument("-e", "--epsilon", type=float, default=1.0)
+    p_rollout.set_defaults(func=cmd_rollout)
+
+    p_rollout_battery = sub.add_parser(
+        "rollout-battery",
+        help="crash a blue/green label rollout at every filesystem "
+        "kill-point",
+    )
+    p_rollout_battery.add_argument(
+        "graph", nargs="?", default="grid:6x6",
+        help="graph spec for the rollout workload (default grid:6x6)",
+    )
+    p_rollout_battery.add_argument("--seed", type=int, default=0)
+    p_rollout_battery.add_argument("--shards", type=int, default=4)
+    p_rollout_battery.add_argument("--replication", type=int, default=2)
+    p_rollout_battery.add_argument(
+        "--limit", type=int, default=None, metavar="N",
+        help="stride-sample the crash grid to at most N runs (CI smoke)",
+    )
+    p_rollout_battery.add_argument("-e", "--epsilon", type=float, default=1.0)
+    p_rollout_battery.set_defaults(func=cmd_rollout_battery)
 
     p_verify = sub.add_parser(
         "verify", help="check a scheme against the paper's definitions"

@@ -66,6 +66,16 @@ class SimulatedCrashError(DurabilityError):
     kill-point: the simulated process dies mid-write/flush/rename."""
 
 
+class RolloutError(ReproError):
+    """Raised by the versioned label rollout layer (:mod:`repro.rollout`).
+
+    Covers lifecycle misuse — committing a generation that was never
+    staged, aborting a committed generation, loading a manifest that
+    does not exist.  Damage to manifest *bytes* is storage corruption
+    and raises :class:`StorageCorruptionError` instead.
+    """
+
+
 class ObservabilityError(ReproError):
     """Raised by the metrics/tracing layer (:mod:`repro.obs`).
 

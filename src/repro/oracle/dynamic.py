@@ -22,12 +22,16 @@ paper's setting (the labeling is for a fixed host graph).
 from __future__ import annotations
 
 import math
-from typing import Iterable
+from typing import TYPE_CHECKING, Iterable
 
 from repro.exceptions import QueryError
 from repro.graphs.graph import Graph
 from repro.labeling.construction import LabelingOptions
 from repro.labeling.scheme import ForbiddenSetLabeling
+
+if TYPE_CHECKING:
+    from repro.obs.registry import Registry
+    from repro.obs.trace import Tracer
 
 
 class DynamicDistanceOracle:
@@ -39,10 +43,14 @@ class DynamicDistanceOracle:
         epsilon: float,
         rebuild_threshold: int | None = None,
         options: LabelingOptions | None = None,
+        obs: "Registry | None" = None,
+        tracer: "Tracer | None" = None,
     ) -> None:
         self._host = graph
         self._epsilon = epsilon
         self._options = options
+        self._obs = obs
+        self._tracer = tracer
         self._threshold = (
             rebuild_threshold
             if rebuild_threshold is not None
@@ -56,6 +64,19 @@ class DynamicDistanceOracle:
         self._baked_vertices: set[int] = set()
         self._baked_edges: set[tuple[int, int]] = set()
 
+    # -- observability -------------------------------------------------------
+
+    def _count(self, name: str, help_text: str, **labels: object) -> None:
+        if self._obs is not None:
+            self._obs.counter(name, help_text, **labels).inc()
+
+    def _track_pending(self) -> None:
+        if self._obs is not None:
+            self._obs.gauge(
+                "repro_dynamic_pending_faults",
+                "Forbidden-set size currently carried by oracle queries.",
+            ).set(self.pending_fault_count())
+
     # -- updates -----------------------------------------------------------
 
     def delete_vertex(self, v: int) -> None:
@@ -63,6 +84,12 @@ class DynamicDistanceOracle:
         if not 0 <= v < self._host.num_vertices:
             raise QueryError(f"vertex {v} out of range")
         self._deleted_vertices.add(v)
+        self._count(
+            "repro_dynamic_deletions_total",
+            "Elements deleted from the dynamic oracle, by kind.",
+            kind="vertex",
+        )
+        self._track_pending()
         self._maybe_rebuild()
 
     def delete_edge(self, u: int, v: int) -> None:
@@ -71,18 +98,49 @@ class DynamicDistanceOracle:
         if not self._host.has_edge(u, v):
             raise QueryError(f"edge ({u}, {v}) is not in the host graph")
         self._deleted_edges.add(key)
+        self._count(
+            "repro_dynamic_deletions_total",
+            "Elements deleted from the dynamic oracle, by kind.",
+            kind="edge",
+        )
+        self._track_pending()
         self._maybe_rebuild()
 
     def restore_vertex(self, v: int) -> None:
-        """Undo a vertex deletion."""
+        """Undo a vertex deletion.
+
+        Restoring a vertex that is not currently deleted is a usage
+        error (the host graph never lost it) and raises
+        :class:`QueryError`.
+        """
+        if v not in self._deleted_vertices:
+            raise QueryError(f"vertex {v} is not currently deleted")
         self._deleted_vertices.discard(v)
+        self._count(
+            "repro_dynamic_restores_total",
+            "Elements restored to the dynamic oracle, by kind.",
+            kind="vertex",
+        )
+        self._track_pending()
         if v in self._baked_vertices:
             self._rebuild()  # the current labels assume v is gone
 
     def restore_edge(self, u: int, v: int) -> None:
-        """Undo an edge deletion."""
+        """Undo an edge deletion.
+
+        Restoring an edge that is not currently deleted raises
+        :class:`QueryError` (mirrors :meth:`restore_vertex`).
+        """
         key = (min(u, v), max(u, v))
+        if key not in self._deleted_edges:
+            raise QueryError(f"edge {key} is not currently deleted")
         self._deleted_edges.discard(key)
+        self._count(
+            "repro_dynamic_restores_total",
+            "Elements restored to the dynamic oracle, by kind.",
+            kind="edge",
+        )
+        self._track_pending()
         if key in self._baked_edges:
             self._rebuild()
 
@@ -120,6 +178,14 @@ class DynamicDistanceOracle:
             self._rebuild()
 
     def _rebuild(self) -> None:
+        if self._tracer is not None:
+            with self._tracer.span("oracle.rebuild") as span:
+                span.set("pending", self.pending_fault_count())
+                self._do_rebuild()
+            return
+        self._do_rebuild()
+
+    def _do_rebuild(self) -> None:
         survivor = self._host.subgraph_without(
             removed_vertices=self._deleted_vertices,
             removed_edges=self._deleted_edges,
@@ -130,3 +196,8 @@ class DynamicDistanceOracle:
         self._baked_vertices = set(self._deleted_vertices)
         self._baked_edges = set(self._deleted_edges)
         self.rebuilds += 1
+        self._count(
+            "repro_dynamic_rebuilds_total",
+            "Full label rebuilds triggered by the dynamic oracle.",
+        )
+        self._track_pending()

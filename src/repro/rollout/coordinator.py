@@ -1,0 +1,269 @@
+"""Blue/green rollout of a new label-table generation.
+
+:class:`RolloutCoordinator` moves a durable
+:class:`~repro.service.store.ShardedLabelStore` from one label-table
+generation to the next with zero downtime:
+
+1. :meth:`stage` — record the *intent* in the manifest (a ``staging``
+   entry, installed atomically), then write the new generation's
+   durable tables shard by shard under ``gen-<version>/shard-<i>``,
+   and finally install the generation in the store where explicitly
+   versioned fetches can already reach it;
+2. :meth:`commit` — install the manifest that names the new generation
+   committed.  That single atomic replace *is* the commit point: a
+   crash strictly before it rolls the rollout back, a crash at or
+   after it resumes onto the new version;
+3. :meth:`abort` — sweep the staged files and record the generation as
+   ``aborted``.
+
+Writing the staging intent *before* any table bytes means a crash can
+never leave table files the manifest knows nothing about: recovery
+(:func:`recover_rollout`) reads the manifest, rolls every ``staging``
+entry back (:func:`repair_manifest`), recovers the committed
+generation's shards through the ordinary
+:class:`~repro.durability.recovery.RecoveryManager`, and rebuilds a
+store that serves exactly one committed version.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Sequence
+
+from repro.durability.atomic import remove_stale_tmp
+from repro.durability.fs import FileSystem
+from repro.durability.recovery import RecoveryManager, RecoveryReport
+from repro.durability.table import DurableLabelTable
+from repro.exceptions import RolloutError
+from repro.rollout.manifest import (
+    STATE_STAGING,
+    GenerationEntry,
+    RolloutManifest,
+    generation_dir,
+    load_manifest,
+    shard_dir,
+    store_manifest,
+)
+from repro.service.store import ShardedLabelStore
+
+if TYPE_CHECKING:
+    from repro.obs.registry import Registry
+    from repro.obs.trace import Tracer
+
+
+class RolloutCoordinator:
+    """Stages, commits and aborts label-table generations."""
+
+    def __init__(
+        self,
+        store: ShardedLabelStore,
+        obs: "Registry | None" = None,
+        tracer: "Tracer | None" = None,
+    ) -> None:
+        if not store.durable:
+            raise RolloutError(
+                "rollouts need a durable store (call attach_durability first)"
+            )
+        self._store = store
+        self._fs = store.filesystem
+        self._root = store.durability_root
+        self._obs = obs
+        self._tracer = tracer
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def stage(
+        self, version: int, encoded_labels: Sequence[bytes | None]
+    ) -> None:
+        """Write the new generation durably and install it in the store.
+
+        Manifest first (intent), table bytes second — so every on-disk
+        file is always accounted for by a manifest entry and recovery
+        can roll an interrupted stage back completely.
+        """
+        if self._tracer is not None:
+            with self._tracer.span("rollout.stage") as span:
+                span.set("version", version)
+                self._stage(version, encoded_labels)
+            return
+        self._stage(version, encoded_labels)
+
+    def _stage(
+        self, version: int, encoded_labels: Sequence[bytes | None]
+    ) -> None:
+        store = self._store
+        manifest = load_manifest(self._fs, self._root)
+        if manifest.has_version(version):
+            raise RolloutError(
+                f"generation {version} already exists in the manifest "
+                f"(state {manifest.entry(version).state!r})"
+            )
+        if version <= manifest.committed_version:
+            raise RolloutError(
+                f"new generation {version} must be newer than the committed "
+                f"version {manifest.committed_version}"
+            )
+        store_manifest(
+            self._fs,
+            self._root,
+            manifest.with_entry(
+                GenerationEntry(version, STATE_STAGING, store.num_shards)
+            ),
+        )
+        tables = []
+        for shard in range(store.num_shards):
+            table = DurableLabelTable.create(
+                self._fs, shard_dir(self._root, version, shard), obs=self._obs
+            )
+            for vertex, payload in enumerate(encoded_labels):
+                if payload is not None and shard in store.replicas(vertex):
+                    table.put(vertex, payload)
+            table.compact()
+            tables.append(table)
+        store.install_generation(version, encoded_labels, tables)
+        self._count("stage")
+
+    def commit(self, version: int) -> None:
+        """Flip the staged generation live.
+
+        The atomic manifest replace is the durable commit point; the
+        in-memory store flip follows it, never precedes it.
+        """
+        manifest = load_manifest(self._fs, self._root)
+        store_manifest(self._fs, self._root, manifest.committing(version))
+        self._store.commit_generation(version)
+        self._count("commit")
+
+    def abort(self, version: int) -> None:
+        """Drop a staged generation: sweep its files, record the abort.
+
+        Files first, manifest second — a crash mid-abort leaves the
+        entry ``staging`` and recovery finishes the rollback.
+        """
+        manifest = load_manifest(self._fs, self._root)
+        aborted = manifest.aborting(version)  # validates the state
+        sweep_generation(self._fs, self._root, version, manifest.entry(version).num_shards)
+        store_manifest(self._fs, self._root, aborted)
+        self._store.abort_generation(version)
+        self._count("abort")
+
+    def _count(self, outcome: str) -> None:
+        if self._obs is not None:
+            self._obs.counter(
+                "repro_rollout_transitions_total",
+                "Rollout lifecycle transitions (stage/commit/abort).",
+                outcome=outcome,
+            ).inc()
+
+
+def sweep_generation(
+    fs: FileSystem, root: str, version: int, num_shards: int
+) -> int:
+    """Delete every file of one generation; returns how many."""
+    removed = 0
+    directories = [
+        shard_dir(root, version, shard) for shard in range(num_shards)
+    ]
+    directories.append(generation_dir(root, version))
+    for directory in directories:
+        for name in fs.listdir(directory):
+            fs.remove(f"{directory}/{name}")
+            removed += 1
+    return removed
+
+
+def repair_manifest(
+    fs: FileSystem, root: str
+) -> tuple[RolloutManifest, tuple[int, ...]]:
+    """Roll back every interrupted (``staging``) generation.
+
+    Sweeps their files, marks them ``aborted``, and installs the
+    repaired manifest atomically.  Idempotent; returns the repaired
+    manifest and the versions that were rolled back.
+    """
+    remove_stale_tmp(fs, root)
+    manifest = load_manifest(fs, root)
+    rolled_back = manifest.staging_versions()
+    for version in rolled_back:
+        sweep_generation(
+            fs, root, version, manifest.entry(version).num_shards
+        )
+        manifest = manifest.aborting(version)
+    if rolled_back:
+        store_manifest(fs, root, manifest)
+    return manifest, rolled_back
+
+
+@dataclass(frozen=True)
+class RolloutRecovery:
+    """Everything crash recovery reconstructed from a rollout root."""
+
+    store: ShardedLabelStore
+    manifest: RolloutManifest
+    committed_version: int
+    rolled_back: tuple[int, ...]
+    shard_reports: tuple[RecoveryReport, ...]
+
+    @property
+    def clean(self) -> bool:
+        """No rollback was needed and every shard recovered cleanly."""
+        return not self.rolled_back and all(
+            report.clean for report in self.shard_reports
+        )
+
+
+def recover_rollout(
+    fs: FileSystem,
+    root: str,
+    replication: int = 2,
+    obs: "Registry | None" = None,
+    seed: int | None = None,
+) -> RolloutRecovery:
+    """Rebuild a serving store from a rollout root after a crash.
+
+    Repairs the manifest (rolling back any mid-flight stage), recovers
+    the committed generation's shard tables through
+    :class:`RecoveryManager`, and returns a store serving exactly that
+    one committed version.  Vertices missing from the recovered tables
+    come back poisoned (quarantined), mirroring
+    :meth:`ShardedLabelStore.restart`.
+    """
+    manifest, rolled_back = repair_manifest(fs, root)
+    committed = manifest.committed_version
+    num_shards = manifest.committed_entry().num_shards
+    manager = RecoveryManager(fs, obs=obs)
+    tables = []
+    reports = []
+    for shard in range(num_shards):
+        table, report = manager.recover(shard_dir(root, committed, shard))
+        tables.append(table)
+        reports.append(report)
+    merged: dict[int, bytes] = {}
+    for table in tables:
+        merged.update(table.state())
+    if not merged:
+        raise RolloutError(
+            f"committed generation {committed} recovered no labels "
+            f"under {root}"
+        )
+    num_vertices = max(merged) + 1
+    encoded: list[bytes | None] = [
+        merged.get(vertex) for vertex in range(num_vertices)
+    ]
+    store = ShardedLabelStore(
+        encoded,
+        num_shards=num_shards,
+        replication=replication,
+        seed=seed,
+        initial_version=committed,
+    )
+    store.adopt_durability(fs, root, {committed: tables})
+    if obs is not None:
+        store.attach_observability(obs)
+    return RolloutRecovery(
+        store=store,
+        manifest=manifest,
+        committed_version=committed,
+        rolled_back=rolled_back,
+        shard_reports=tuple(reports),
+    )

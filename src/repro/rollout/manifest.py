@@ -1,0 +1,307 @@
+"""The rollout manifest: which label-table generation is live.
+
+A label store that updates without downtime keeps *generations* of
+label tables side by side on disk (``gen-<version>/shard-<i>``
+directories of WAL+snapshot tables) and one small ``MANIFEST`` file
+that says which generation is committed.  The manifest is the **single
+durable commit point** of a rollout: it is CRC-framed and always
+installed through :func:`repro.durability.atomic.atomic_write`
+(tmp + fsync + replace), so after a crash it is either the old
+manifest or the new one — never a torn mix.  Every state transition of
+a rollout (stage, commit, abort, recovery rollback) is one atomic
+manifest replace.
+
+Binary format (little-endian)::
+
+    magic  b"FSMF" | u8 format_version (=1)
+    u32 payload_len | payload | u32 crc32(payload)
+
+    payload = u32 committed_version
+            | u32 entry_count
+            | entry*          (sorted by ascending version)
+    entry   = u32 version | u8 state | u32 num_shards
+
+States: 1 = staging, 2 = committed, 3 = aborted, 4 = retired.
+Exactly one entry is ``committed`` and it names ``committed_version``
+— :func:`decode_manifest` re-validates this on every load, so a
+manifest that could make two generations look live fails loudly as
+:class:`~repro.exceptions.StorageCorruptionError` instead of being
+served.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from dataclasses import dataclass
+
+from repro.durability.atomic import atomic_write
+from repro.durability.fs import FileSystem
+from repro.exceptions import RolloutError, StorageCorruptionError
+
+#: magic prefix of a manifest file
+MANIFEST_MAGIC = b"FSMF"
+
+#: current manifest format version
+MANIFEST_VERSION = 1
+
+#: file name of the manifest inside a rollout root
+MANIFEST_NAME = "MANIFEST"
+
+#: generation lifecycle states (wire values)
+STATE_STAGING = "staging"
+STATE_COMMITTED = "committed"
+STATE_ABORTED = "aborted"
+STATE_RETIRED = "retired"
+
+_STATE_CODES = {
+    STATE_STAGING: 1,
+    STATE_COMMITTED: 2,
+    STATE_ABORTED: 3,
+    STATE_RETIRED: 4,
+}
+_CODE_STATES = {code: state for state, code in _STATE_CODES.items()}
+
+_U32 = struct.Struct("<I")
+_ENTRY = struct.Struct("<IBI")
+_HEADER = struct.Struct("<4sBI")
+
+
+def manifest_path(root: str) -> str:
+    """Path of the manifest file inside a rollout root directory."""
+    return f"{root}/{MANIFEST_NAME}"
+
+
+def generation_dir(root: str, version: int) -> str:
+    """Directory holding one generation's shard tables."""
+    return f"{root}/gen-{version}"
+
+
+def shard_dir(root: str, version: int, shard: int) -> str:
+    """Directory of one shard's durable table within a generation."""
+    return f"{generation_dir(root, version)}/shard-{shard}"
+
+
+@dataclass(frozen=True)
+class GenerationEntry:
+    """One generation the manifest knows about."""
+
+    version: int
+    state: str
+    num_shards: int
+
+    def __post_init__(self) -> None:
+        if self.state not in _STATE_CODES:
+            raise RolloutError(f"unknown generation state {self.state!r}")
+        if self.version < 0:
+            raise RolloutError(f"generation version must be >= 0, got {self.version}")
+        if self.num_shards < 1:
+            raise RolloutError(
+                f"generation {self.version} needs at least one shard"
+            )
+
+
+@dataclass(frozen=True)
+class RolloutManifest:
+    """The committed version plus every generation's lifecycle state."""
+
+    committed_version: int
+    entries: tuple[GenerationEntry, ...]
+
+    def __post_init__(self) -> None:
+        versions = [entry.version for entry in self.entries]
+        if len(set(versions)) != len(versions):
+            raise RolloutError(f"duplicate generation versions: {versions}")
+        committed = [
+            entry for entry in self.entries if entry.state == STATE_COMMITTED
+        ]
+        if len(committed) != 1:
+            raise RolloutError(
+                f"manifest must name exactly one committed generation, "
+                f"found {len(committed)}"
+            )
+        if committed[0].version != self.committed_version:
+            raise RolloutError(
+                f"committed_version {self.committed_version} does not match "
+                f"the committed entry {committed[0].version}"
+            )
+
+    def entry(self, version: int) -> GenerationEntry:
+        """The entry for ``version`` (raises when unknown)."""
+        for candidate in self.entries:
+            if candidate.version == version:
+                return candidate
+        raise RolloutError(f"generation {version} is not in the manifest")
+
+    def has_version(self, version: int) -> bool:
+        """Whether the manifest tracks ``version`` at all."""
+        return any(entry.version == version for entry in self.entries)
+
+    def staging_versions(self) -> tuple[int, ...]:
+        """Versions currently mid-rollout (sorted ascending)."""
+        return tuple(
+            entry.version
+            for entry in sorted(self.entries, key=lambda e: e.version)
+            if entry.state == STATE_STAGING
+        )
+
+    def committed_entry(self) -> GenerationEntry:
+        """The single committed generation's entry."""
+        return self.entry(self.committed_version)
+
+    def with_entry(self, entry: GenerationEntry) -> "RolloutManifest":
+        """A manifest with ``entry`` added or replaced (same commit point)."""
+        kept = tuple(e for e in self.entries if e.version != entry.version)
+        ordered = tuple(
+            sorted(kept + (entry,), key=lambda e: e.version)
+        )
+        return RolloutManifest(
+            committed_version=self.committed_version, entries=ordered
+        )
+
+    def committing(self, version: int) -> "RolloutManifest":
+        """The manifest after committing ``version``.
+
+        The previously committed generation is retired and ``version``
+        becomes the one committed entry; installing the returned
+        manifest atomically *is* the rollout's commit point.
+        """
+        target = self.entry(version)
+        if target.state != STATE_STAGING:
+            raise RolloutError(
+                f"cannot commit generation {version} from state "
+                f"{target.state!r}"
+            )
+        entries = []
+        for entry in self.entries:
+            if entry.version == version:
+                entries.append(
+                    GenerationEntry(version, STATE_COMMITTED, entry.num_shards)
+                )
+            elif entry.state == STATE_COMMITTED:
+                entries.append(
+                    GenerationEntry(
+                        entry.version, STATE_RETIRED, entry.num_shards
+                    )
+                )
+            else:
+                entries.append(entry)
+        return RolloutManifest(
+            committed_version=version, entries=tuple(entries)
+        )
+
+    def aborting(self, version: int) -> "RolloutManifest":
+        """The manifest after aborting the staging generation ``version``."""
+        target = self.entry(version)
+        if target.state != STATE_STAGING:
+            raise RolloutError(
+                f"cannot abort generation {version} from state "
+                f"{target.state!r}"
+            )
+        return self.with_entry(
+            GenerationEntry(version, STATE_ABORTED, target.num_shards)
+        )
+
+
+def initial_manifest(version: int, num_shards: int) -> RolloutManifest:
+    """A fresh manifest with one committed generation."""
+    return RolloutManifest(
+        committed_version=version,
+        entries=(GenerationEntry(version, STATE_COMMITTED, num_shards),),
+    )
+
+
+def encode_manifest(manifest: RolloutManifest) -> bytes:
+    """Serialize a manifest (entries in ascending version order)."""
+    body = bytearray(_U32.pack(manifest.committed_version))
+    ordered = sorted(manifest.entries, key=lambda entry: entry.version)
+    body.extend(_U32.pack(len(ordered)))
+    for entry in ordered:
+        body.extend(
+            _ENTRY.pack(
+                entry.version, _STATE_CODES[entry.state], entry.num_shards
+            )
+        )
+    payload = bytes(body)
+    return (
+        _HEADER.pack(MANIFEST_MAGIC, MANIFEST_VERSION, len(payload))
+        + payload
+        + _U32.pack(zlib.crc32(payload))
+    )
+
+
+def decode_manifest(blob: bytes) -> RolloutManifest:
+    """Parse and re-validate a manifest file's bytes.
+
+    The manifest is installed atomically, so *any* integrity failure
+    here is unsurvivable damage (not a crash artifact) and raises
+    :class:`StorageCorruptionError`.
+    """
+    if len(blob) < _HEADER.size:
+        raise StorageCorruptionError(
+            f"manifest too short: {len(blob)} bytes"
+        )
+    magic, version, payload_len = _HEADER.unpack_from(blob)
+    if magic != MANIFEST_MAGIC:
+        raise StorageCorruptionError(f"bad manifest magic {magic!r}")
+    if version != MANIFEST_VERSION:
+        raise StorageCorruptionError(
+            f"unsupported manifest format version {version}"
+        )
+    end = _HEADER.size + payload_len
+    if len(blob) != end + 4:
+        raise StorageCorruptionError(
+            f"manifest length {len(blob)} does not match framed "
+            f"payload of {payload_len} bytes"
+        )
+    payload = blob[_HEADER.size:end]
+    (stored_crc,) = _U32.unpack_from(blob, end)
+    if zlib.crc32(payload) != stored_crc:
+        raise StorageCorruptionError("manifest payload fails its CRC")
+    committed_version = _U32.unpack_from(payload, 0)[0]
+    (count,) = _U32.unpack_from(payload, 4)
+    expected = 8 + count * _ENTRY.size
+    if len(payload) != expected:
+        raise StorageCorruptionError(
+            f"manifest payload {len(payload)} bytes, expected {expected} "
+            f"for {count} entries"
+        )
+    entries = []
+    for index in range(count):
+        offset = 8 + index * _ENTRY.size
+        gen_version, state_code, num_shards = _ENTRY.unpack_from(
+            payload, offset
+        )
+        state = _CODE_STATES.get(state_code)
+        if state is None:
+            raise StorageCorruptionError(
+                f"unknown generation state code {state_code}"
+            )
+        entries.append(GenerationEntry(gen_version, state, num_shards))
+    try:
+        return RolloutManifest(
+            committed_version=committed_version, entries=tuple(entries)
+        )
+    except RolloutError as exc:
+        # structurally intact but semantically impossible (e.g. two
+        # committed generations): that is corruption, not misuse
+        raise StorageCorruptionError(f"invalid manifest: {exc}") from exc
+
+
+def store_manifest(
+    fs: FileSystem, root: str, manifest: RolloutManifest
+) -> None:
+    """Atomically install ``manifest`` at the rollout root.
+
+    This is the only way a manifest reaches disk; the atomic replace
+    makes every manifest transition an all-or-nothing commit point.
+    """
+    atomic_write(fs, manifest_path(root), encode_manifest(manifest))
+
+
+def load_manifest(fs: FileSystem, root: str) -> RolloutManifest:
+    """Load and validate the manifest under ``root``."""
+    path = manifest_path(root)
+    if not fs.exists(path):
+        raise RolloutError(f"no manifest at {path}")
+    return decode_manifest(fs.read_bytes(path))

@@ -257,9 +257,14 @@ class ResilientLabelClient:
 
     # -- fetching -----------------------------------------------------------
 
-    def fetch(self, vertex: int, deadline_ms: float | None = None) -> bytes:
+    def fetch(
+        self,
+        vertex: int,
+        deadline_ms: float | None = None,
+        version: int | None = None,
+    ) -> bytes:
         """Strict fetch: the label bytes, or a raised fetch error."""
-        outcome = self.fetch_label(vertex, deadline_ms)
+        outcome = self.fetch_label(vertex, deadline_ms, version)
         if outcome.ok:
             return outcome.data
         if outcome.error == "deadline":
@@ -273,13 +278,19 @@ class ResilientLabelClient:
         )
 
     def fetch_label(
-        self, vertex: int, deadline_ms: float | None = None
+        self,
+        vertex: int,
+        deadline_ms: float | None = None,
+        version: int | None = None,
     ) -> FetchOutcome:
         """One logical fetch with retries/failover/hedging under a budget.
 
         ``deadline_ms`` is a *relative* budget from the current virtual
-        time (default :attr:`default_deadline_ms`).  Never raises for
-        availability problems — inspect :attr:`FetchOutcome.error`.
+        time (default :attr:`default_deadline_ms`).  ``version`` pins
+        the label-table generation every physical fetch reads from —
+        retries and hedges included — so one logical fetch can never
+        straddle a rollout.  Never raises for availability problems —
+        inspect :attr:`FetchOutcome.error`.
         """
         metrics = self.metrics
         metrics.fetches += 1
@@ -316,7 +327,9 @@ class ResilientLabelClient:
                 retries += 1
                 metrics.retries += 1
             timeout = min(self.retry.attempt_timeout_ms, remaining)
-            result = self._attempt(vertex, primary, hedge_shard, timeout)
+            result = self._attempt(
+                vertex, primary, hedge_shard, timeout, version
+            )
             issued = len(result.issued)
             attempts += issued
             metrics.attempts += issued
@@ -427,6 +440,7 @@ class ResilientLabelClient:
         primary: int,
         hedge_shard: int | None,
         timeout: float,
+        version: int | None = None,
     ) -> _AttemptResult:
         """One primary fetch, optionally hedged; advances the clock."""
         result = _AttemptResult()
@@ -434,7 +448,7 @@ class ResilientLabelClient:
         breaker = self._breakers[primary]
         if breaker.state(now) == "half_open":
             breaker.record_probe()
-        primary_res = self._store.fetch(primary, vertex)
+        primary_res = self._store.fetch(primary, vertex, version)
         completions = [(primary, primary_res, primary_res.latency_ms)]
         hedge_after = self.retry.hedge_after_ms
         if (
@@ -445,7 +459,7 @@ class ResilientLabelClient:
             # the primary is still silent at the hedge trigger: fire a
             # second read and let the faster answer win
             result.hedged = True
-            hedge_res = self._store.fetch(hedge_shard, vertex)
+            hedge_res = self._store.fetch(hedge_shard, vertex, version)
             completions.append(
                 (hedge_shard, hedge_res, hedge_after + hedge_res.latency_ms)
             )

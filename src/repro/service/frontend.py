@@ -106,6 +106,9 @@ class QueryOutcome:
     attempts: int
     retries: int
     hedges: int
+    #: the label-table generation every fetched label came from — one
+    #: consistent version per answer, pinned at query entry
+    version: int = 0
 
     @property
     def exact(self) -> bool:
@@ -266,6 +269,28 @@ class QueryService:
             self.default_deadline_ms if deadline_ms is None else deadline_ms
         )
         deadline = start + budget
+        # pin the committed generation for the query's whole lifetime:
+        # every fetch below reads this version, so an answer can never
+        # mix labels from before and after a concurrent rollout
+        version = self._store.pin()
+        try:
+            return self._pinned_query(
+                s, t, vertex_faults, edge_faults, deadline, start, version
+            )
+        finally:
+            self._store.unpin(version)
+
+    def _pinned_query(
+        self,
+        s: int,
+        t: int,
+        vertex_faults,
+        edge_faults,
+        deadline: float,
+        start: float,
+        version: int,
+    ) -> QueryOutcome:
+        metrics = self.metrics
 
         # one fetch+decode per unique vertex, whatever roles it plays
         roles: dict[int, str] = {}
@@ -290,7 +315,7 @@ class QueryService:
                 if remaining <= 0:
                     missing.append(MissingLabel(vertex, role, "deadline"))
                     continue
-                outcome = self.client.fetch_label(vertex, remaining)
+                outcome = self.client.fetch_label(vertex, remaining, version)
                 attempts += outcome.attempts
                 retries += outcome.retries
                 hedges += outcome.hedges
@@ -330,6 +355,7 @@ class QueryService:
                 missing=tuple(missing),
                 retry_suggested=True, latency_ms=self.clock.now - start,
                 attempts=attempts, retries=retries, hedges=hedges,
+                version=version,
             ))
 
         available = FaultSet(
@@ -351,7 +377,7 @@ class QueryService:
                 lower_bound=result.distance / self.stretch_bound,
                 reason=None, missing=(), retry_suggested=False,
                 latency_ms=self.clock.now - start, attempts=attempts,
-                retries=retries, hedges=hedges,
+                retries=retries, hedges=hedges, version=version,
             ))
         # fault labels are missing: the subset answer certifies a lower
         # bound (an infinite one is a certain "unreachable" verdict)
@@ -365,6 +391,7 @@ class QueryService:
             missing=tuple(missing),
             retry_suggested=True, latency_ms=self.clock.now - start,
             attempts=attempts, retries=retries, hedges=hedges,
+            version=version,
         ))
 
     def _record(self, outcome: QueryOutcome) -> QueryOutcome:

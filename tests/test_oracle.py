@@ -200,3 +200,86 @@ class TestDecodeEconomy:
         oracle = ForbiddenSetDistanceOracle(g, epsilon=1.0)
         with pytest.raises(QueryError):
             oracle.query(0, 15, edge_faults=[(5, 5)])
+
+
+class TestDynamicOracleProperties:
+    """Seeded random churn against BFS ground truth on the survivor graph."""
+
+    def test_random_churn_matches_exact(self):
+        from repro.util.rng import make_rng
+
+        g = grid_graph(5, 5)
+        exact = ExactRecomputeOracle(g)
+        dyn = DynamicDistanceOracle(g, epsilon=1.0, rebuild_threshold=3)
+        rng = make_rng(42)
+        deleted_v: set[int] = set()
+        deleted_e: set[tuple[int, int]] = set()
+        edges = sorted(g.edges())
+        for step in range(40):
+            roll = rng.random()
+            if roll < 0.30 and len(deleted_v) < 4:
+                v = rng.choice([u for u in range(g.num_vertices) if u not in deleted_v])
+                dyn.delete_vertex(v)
+                deleted_v.add(v)
+            elif roll < 0.45 and deleted_v:
+                v = rng.choice(sorted(deleted_v))
+                dyn.restore_vertex(v)
+                deleted_v.discard(v)
+            elif roll < 0.60 and len(deleted_e) < 4:
+                e = rng.choice([e for e in edges if e not in deleted_e])
+                dyn.delete_edge(*e)
+                deleted_e.add(e)
+            elif roll < 0.70 and deleted_e:
+                e = rng.choice(sorted(deleted_e))
+                dyn.restore_edge(*e)
+                deleted_e.discard(e)
+            else:
+                live = [u for u in range(g.num_vertices) if u not in deleted_v]
+                s, t = rng.sample(live, 2)
+                d_true = exact.query(
+                    s, t, vertex_faults=deleted_v, edge_faults=deleted_e
+                )
+                d_hat = dyn.query(s, t)
+                if math.isinf(d_true):
+                    assert math.isinf(d_hat), (step, s, t)
+                else:
+                    assert d_true <= d_hat <= 2 * d_true, (step, s, t)
+        assert dyn.rebuilds >= 1  # the threshold crossed at least once
+
+    def test_restore_never_deleted_rejected(self):
+        dyn = DynamicDistanceOracle(path_graph(8), epsilon=1.0)
+        with pytest.raises(QueryError):
+            dyn.restore_vertex(3)
+        with pytest.raises(QueryError):
+            dyn.restore_edge(3, 4)
+        # restoring across a bake still works: the element stays in the
+        # deleted set until explicitly restored
+        dyn2 = DynamicDistanceOracle(cycle_graph(16), epsilon=1.0, rebuild_threshold=1)
+        dyn2.delete_vertex(3)
+        dyn2.delete_vertex(8)  # crosses the threshold -> baked
+        dyn2.restore_vertex(3)
+        with pytest.raises(QueryError):
+            dyn2.restore_vertex(3)  # no longer deleted
+
+    def test_observability_counters(self):
+        from repro.obs.registry import Registry
+
+        obs = Registry()
+        dyn = DynamicDistanceOracle(
+            grid_graph(4, 4), epsilon=1.0, rebuild_threshold=2, obs=obs
+        )
+        dyn.delete_vertex(5)
+        dyn.delete_edge(0, 1)
+        dyn.delete_vertex(9)  # 3 pending > 2 -> rebuild
+        assert obs.get_counter_value(
+            "repro_dynamic_deletions_total", kind="vertex"
+        ) == 2
+        assert obs.get_counter_value(
+            "repro_dynamic_deletions_total", kind="edge"
+        ) == 1
+        assert obs.get_counter_value("repro_dynamic_rebuilds_total") == 1
+        assert obs.gauge("repro_dynamic_pending_faults").value == 0
+        dyn.restore_vertex(5)
+        assert obs.get_counter_value(
+            "repro_dynamic_restores_total", kind="vertex"
+        ) == 1

@@ -1,0 +1,332 @@
+"""Tests for the rollout layer: manifest codec, incremental relabeling,
+MVCC store versioning, coordinator lifecycle, crash recovery, chaos
+rollout events, and the mid-rollout crash battery."""
+
+import math
+
+import pytest
+
+from repro.chaos.plan import ChaosEvent, FaultPlan
+from repro.chaos.service_runner import run_service_plan
+from repro.durability.fs import SimulatedFS
+from repro.exceptions import (
+    GraphError,
+    QueryError,
+    RolloutError,
+    ServiceError,
+    SimulatedCrashError,
+    StorageCorruptionError,
+)
+from repro.graphs.generators import grid_graph, path_graph
+from repro.graphs.graph import Graph
+from repro.graphs.traversal import bfs_distances
+from repro.labeling.decoder import decode_distance
+from repro.labeling.encoding import decode_label
+from repro.obs.registry import Registry
+from repro.rollout import (
+    GenerationEntry,
+    GraphChange,
+    IncrementalRelabeler,
+    RolloutCoordinator,
+    apply_change,
+    decode_manifest,
+    encode_manifest,
+    initial_manifest,
+    load_manifest,
+    recover_rollout,
+    store_manifest,
+)
+from repro.rollout.battery import exhaustive_rollout_battery
+from repro.rollout.manifest import (
+    STATE_ABORTED,
+    STATE_COMMITTED,
+    STATE_RETIRED,
+    STATE_STAGING,
+)
+from repro.service.store import ShardedLabelStore
+
+
+class TestManifest:
+    def test_roundtrip(self):
+        manifest = initial_manifest(0, 4).with_entry(
+            GenerationEntry(1, STATE_STAGING, 4)
+        )
+        assert decode_manifest(encode_manifest(manifest)) == manifest
+
+    def test_commit_retires_predecessor(self):
+        manifest = initial_manifest(0, 2).with_entry(
+            GenerationEntry(1, STATE_STAGING, 2)
+        )
+        committed = manifest.committing(1)
+        assert committed.committed_version == 1
+        assert committed.entry(1).state == STATE_COMMITTED
+        assert committed.entry(0).state == STATE_RETIRED
+
+    def test_abort_requires_staging(self):
+        manifest = initial_manifest(0, 2)
+        with pytest.raises(RolloutError):
+            manifest.aborting(0)  # committed, not staging
+        staged = manifest.with_entry(GenerationEntry(1, STATE_STAGING, 2))
+        assert staged.aborting(1).entry(1).state == STATE_ABORTED
+
+    def test_two_committed_generations_is_corruption(self):
+        with pytest.raises(RolloutError):
+            from repro.rollout.manifest import RolloutManifest
+
+            RolloutManifest(
+                committed_version=0,
+                entries=(
+                    GenerationEntry(0, STATE_COMMITTED, 2),
+                    GenerationEntry(1, STATE_COMMITTED, 2),
+                ),
+            )
+
+    def test_corrupt_bytes_detected(self):
+        blob = bytearray(encode_manifest(initial_manifest(0, 2)))
+        blob[-1] ^= 0xFF  # break the CRC
+        with pytest.raises(StorageCorruptionError):
+            decode_manifest(bytes(blob))
+
+    def test_load_missing_manifest(self):
+        with pytest.raises(RolloutError):
+            load_manifest(SimulatedFS(seed=0), "nowhere")
+
+    def test_store_and_load(self):
+        fs = SimulatedFS(seed=0)
+        manifest = initial_manifest(3, 5)
+        store_manifest(fs, "root", manifest)
+        assert load_manifest(fs, "root") == manifest
+
+
+class TestGraphChange:
+    def test_empty_change_rejected(self):
+        with pytest.raises(RolloutError):
+            GraphChange()
+
+    def test_edges_normalized(self):
+        change = GraphChange(removed_edges=((5, 2),))
+        assert change.removed_edges == ((2, 5),)
+
+    def test_apply_validates(self):
+        g = path_graph(5)
+        with pytest.raises(GraphError):
+            apply_change(g, GraphChange(removed_edges=((0, 4),)))  # missing
+        with pytest.raises(GraphError):
+            apply_change(g, GraphChange(added_edges=((0, 1),)))  # exists
+        new = apply_change(g, GraphChange(added_edges=((0, 4),)))
+        assert new.has_edge(0, 4)
+        assert not g.has_edge(0, 4)  # original untouched
+
+
+class TestIncrementalRelabeler:
+    def test_plan_validates_against_full_rebuild(self):
+        g = grid_graph(4, 4)
+        relabeler = IncrementalRelabeler(g, epsilon=1.0)
+        plan = relabeler.plan(GraphChange(removed_edges=((0, 1),)))
+        relabeler.validate(plan)  # byte-equality oracle
+
+    def test_commit_advances_the_version(self):
+        g = grid_graph(4, 4)
+        relabeler = IncrementalRelabeler(g, epsilon=1.0)
+        plan = relabeler.plan(GraphChange(removed_edges=((0, 1),)))
+        relabeler.commit(plan)
+        assert not relabeler.graph.has_edge(0, 1)
+        # labels answer for the committed graph
+        label_s = decode_label(plan.encoded_labels()[0])
+        label_t = decode_label(plan.encoded_labels()[5])
+        answer = decode_distance(label_s, label_t).distance
+        truth = bfs_distances(plan.new_graph, 0)[5]
+        assert truth <= answer <= relabeler.stretch_bound * truth + 1e-9
+
+    def test_locality_on_path_with_pendant(self):
+        """A pendant removal on a long path rebuilds strictly fewer
+        labels than a full rebuild — and the result is byte-identical
+        to one (the acceptance criterion for incrementality)."""
+        n = 200
+        g = Graph(n + 1)
+        for i in range(n - 1):
+            g.add_edge(i, i + 1)
+        g.add_edge(n // 2, n)
+        obs = Registry()
+        relabeler = IncrementalRelabeler(g, epsilon=1.5, obs=obs)
+        plan = relabeler.plan(GraphChange(removed_vertices=(n,)))
+        assert 0 < plan.num_rebuilt < g.num_vertices
+        assert plan.num_reused > 0
+        assert (
+            obs.get_counter_value("repro_labels_rebuilt_total")
+            == plan.num_rebuilt
+        )
+        relabeler.validate(plan)  # decode-equivalent to a full rebuild
+
+
+def _encoded(graph, epsilon=1.0):
+    return IncrementalRelabeler(graph, epsilon).encoded_labels()
+
+
+def _staged_store(graph, fs, num_shards=4, seed=0):
+    relabeler = IncrementalRelabeler(graph, 1.0)
+    base = relabeler.encoded_labels()
+    plan = relabeler.plan(GraphChange(removed_edges=(next(graph.edges()),)))
+    store = ShardedLabelStore(base, num_shards=num_shards, seed=seed)
+    store.attach_durability(fs, "rollout-test")
+    return store, RolloutCoordinator(store), plan
+
+
+class TestStoreMVCC:
+    def test_pin_survives_commit_unmixed(self):
+        g = grid_graph(4, 4)
+        fs = SimulatedFS(seed=0)
+        store, coordinator, plan = _staged_store(g, fs)
+        new = plan.encoded_labels()
+        pinned = store.pin()
+        probe = 5
+        shard = store.replicas(probe)[0]
+        old_bytes = store.fetch(shard, probe, pinned).data
+        coordinator.stage(1, new)
+        coordinator.commit(1)
+        # the pinned reader still sees generation 0, new readers see 1
+        assert store.fetch(shard, probe, pinned).data == old_bytes
+        assert store.fetch(shard, probe).data == new[probe]
+        store.unpin(pinned)
+        with pytest.raises(QueryError):
+            store.fetch(shard, probe, pinned)  # retired and collected
+
+    def test_install_requires_newer_version(self):
+        g = grid_graph(3, 3)
+        store = ShardedLabelStore(_encoded(g), num_shards=2, seed=0)
+        with pytest.raises(ServiceError):
+            store.install_generation(0, _encoded(g))
+
+    def test_abort_drops_the_generation(self):
+        g = grid_graph(3, 3)
+        encoded = _encoded(g)
+        store = ShardedLabelStore(encoded, num_shards=2, seed=0)
+        store.install_generation(1, encoded)
+        assert 1 in store.versions
+        store.abort_generation(1)
+        assert store.versions == (0,)
+
+
+class TestCoordinatorAndRecovery:
+    def test_stage_rejects_stale_versions(self):
+        g = grid_graph(4, 4)
+        fs = SimulatedFS(seed=0)
+        store, coordinator, plan = _staged_store(g, fs)
+        new = plan.encoded_labels()
+        coordinator.stage(1, new)
+        with pytest.raises(RolloutError):
+            coordinator.stage(1, new)  # already in the manifest
+        coordinator.commit(1)
+        with pytest.raises(RolloutError):
+            coordinator.stage(1, new)  # not newer than committed
+
+    def test_crash_before_commit_rolls_back(self):
+        g = grid_graph(4, 4)
+        fs = SimulatedFS(seed=1)
+        store, coordinator, plan = _staged_store(g, fs)
+        base = [store.fetch(store.replicas(v)[0], v).data
+                for v in range(g.num_vertices)]
+        fs.arm_crash(fs.op_count + 10, "torn_write")  # mid-stage
+        with pytest.raises(SimulatedCrashError):
+            coordinator.stage(1, plan.encoded_labels())
+        fs.crash()
+        recovery = recover_rollout(fs, "rollout-test", seed=1)
+        assert recovery.committed_version == 0
+        assert recovery.rolled_back == (1,)
+        for v, payload in enumerate(base):
+            shard = recovery.store.replicas(v)[0]
+            assert recovery.store.fetch(shard, v).data == payload
+
+    def test_crash_after_commit_resumes_on_new_version(self):
+        g = grid_graph(4, 4)
+        fs = SimulatedFS(seed=2)
+        store, coordinator, plan = _staged_store(g, fs, seed=2)
+        new = plan.encoded_labels()
+        coordinator.stage(1, new)
+        coordinator.commit(1)
+        fs.crash()  # power loss after the commit point
+        recovery = recover_rollout(fs, "rollout-test", seed=2)
+        assert recovery.committed_version == 1
+        assert recovery.store.versions == (1,)
+        for v, payload in enumerate(new):
+            shard = recovery.store.replicas(v)[0]
+            assert recovery.store.fetch(shard, v).data == payload
+
+    def test_abort_sweeps_the_staged_files(self):
+        g = grid_graph(4, 4)
+        fs = SimulatedFS(seed=3)
+        store, coordinator, plan = _staged_store(g, fs, seed=3)
+        coordinator.stage(1, plan.encoded_labels())
+        assert fs.listdir("rollout-test/gen-1/shard-0")
+        coordinator.abort(1)
+        for shard in range(store.num_shards):
+            assert fs.listdir(f"rollout-test/gen-1/shard-{shard}") == []
+        assert store.versions == (0,)
+
+
+class TestChaosRolloutEvents:
+    def test_event_validation(self):
+        with pytest.raises(QueryError):
+            ChaosEvent(kind="rollout_begin")  # needs an edge
+        with pytest.raises(QueryError):
+            ChaosEvent(kind="rollout_crash")
+
+    def test_scripted_commit_schedule(self):
+        g = grid_graph(6, 6)
+        plan = (
+            FaultPlan(seed=7, name="rollout-commit")
+            .query(0, 35)
+            .rollout_begin(0, 1)
+            .query(0, 35)  # judged against the old graph while staged
+            .rollout_commit()
+            .query(0, 1)  # judged against the new graph
+            .query(5, 30)
+        )
+        report = run_service_plan(g, plan)
+        assert report.ok, report.violations
+
+    def test_scripted_abort_schedule(self):
+        g = grid_graph(6, 6)
+        plan = (
+            FaultPlan(seed=8, name="rollout-abort")
+            .rollout_begin(0, 6)
+            .query(0, 6)
+            .rollout_abort()
+            .query(0, 6)
+        )
+        report = run_service_plan(g, plan)
+        assert report.ok, report.violations
+
+    @pytest.mark.parametrize("seed", [100, 101, 102])
+    def test_rollout_crash_recovers_one_version(self, seed):
+        g = grid_graph(6, 6)
+        plan = (
+            FaultPlan(seed=seed, name=f"rollout-crash-{seed}")
+            .query(3, 20)
+            .rollout_crash(2, 3)
+            .query(3, 20)
+            .query(0, 35)
+        )
+        report = run_service_plan(g, plan)
+        assert report.ok, report.violations
+
+
+class TestRolloutBattery:
+    def test_smoke(self):
+        report = exhaustive_rollout_battery(
+            grid_graph(4, 4), epsilon=1.0, seed=0, limit=24
+        )
+        assert report.kill_point_runs == 24
+        assert report.crashes_fired == 24
+        assert report.passed, report.violations[:5]
+        assert report.label_checks > 0
+        assert report.probe_queries > 0
+        assert 0 < report.locality_rebuilt < report.locality_vertices
+
+    @pytest.mark.chaos
+    def test_full_battery(self):
+        report = exhaustive_rollout_battery(grid_graph(6, 6), seed=0)
+        assert report.kill_point_runs >= 200
+        assert report.passed, report.violations[:10]
+        assert report.rollbacks > 0
+        assert report.resumes > 0  # both sides of the commit point hit
