@@ -1,0 +1,130 @@
+"""Gateway throughput and tail latency across the overload curve.
+
+Runs the standard traffic battery at 1x, 4x and 16x offered load —
+with the full optimisation stack (in-flight coalescing + label cache)
+and with both stripped — and reports, per scenario:
+
+* goodput (exact answers per virtual second) and shed rate;
+* p50/p99 *virtual* total latency (queue + service, the deterministic
+  milliseconds each answer cost end-to-end);
+* wall-clock time for the whole replay (pytest-benchmark's timing).
+
+The deterministic half never varies between runs of the same seed;
+only the wall timing does.  Emit the committed artifact with::
+
+    PYTHONPATH=src python benchmarks/bench_gateway.py -o BENCH_7.json
+
+or run the scenarios under pytest-benchmark::
+
+    pytest benchmarks/bench_gateway.py --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+
+from repro.gateway import standard_traffic_battery
+
+DURATION_MS = 300.0
+SEED = 0
+MULTIPLIERS = (1.0, 4.0, 16.0)
+
+
+def _run_scenario(multiplier: float, optimized: bool) -> dict:
+    report = standard_traffic_battery(
+        seed=SEED,
+        duration_ms=DURATION_MS,
+        offered_multiplier=multiplier,
+        use_cache=optimized,
+        coalescing=optimized,
+    )
+    return {
+        "offered_multiplier": multiplier,
+        "optimized": optimized,
+        "ok": report.ok,
+        "submitted": report.submitted,
+        "exact": report.exact,
+        "degraded": report.degraded,
+        "shed": report.shed,
+        "coalesced": report.coalesced,
+        "goodput_per_s": round(report.goodput_per_s, 6),
+        "shed_rate": round(report.shed_rate, 6),
+        "p50_total_ms": round(report.p50_total_ms, 6),
+        "p99_total_ms": round(report.p99_total_ms, 6),
+        "cache_hits": report.cache.get("hits", 0),
+    }
+
+
+def _bench(benchmark, multiplier: float, optimized: bool) -> None:
+    stats = benchmark.pedantic(
+        _run_scenario, args=(multiplier, optimized), rounds=1, iterations=1
+    )
+    label = "full stack" if optimized else "stripped"
+    print(
+        f"\n{multiplier:.0f}x offered, {label}: "
+        f"goodput {stats['goodput_per_s']:.1f}/s, "
+        f"shed rate {stats['shed_rate']:.2f}, "
+        f"p99 {stats['p99_total_ms']:.1f} ms (virtual)"
+    )
+    assert stats["ok"], "battery reported violations"
+
+
+def bench_gateway_1x_optimized(benchmark):
+    _bench(benchmark, 1.0, True)
+
+
+def bench_gateway_4x_optimized(benchmark):
+    _bench(benchmark, 4.0, True)
+
+
+def bench_gateway_16x_optimized(benchmark):
+    _bench(benchmark, 16.0, True)
+
+
+def bench_gateway_4x_stripped(benchmark):
+    _bench(benchmark, 4.0, False)
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Emit the full scenario grid as a JSON artifact."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("-o", "--output", default="BENCH_7.json")
+    args = parser.parse_args(argv)
+    scenarios = []
+    for multiplier in MULTIPLIERS:
+        for optimized in (True, False):
+            start = time.perf_counter()
+            stats = _run_scenario(multiplier, optimized)
+            stats["wall_ms"] = round(
+                (time.perf_counter() - start) * 1000.0, 3
+            )
+            scenarios.append(stats)
+            label = "full" if optimized else "stripped"
+            print(
+                f"{multiplier:>4.0f}x {label:>8}: "
+                f"goodput {stats['goodput_per_s']:8.1f}/s  "
+                f"shed {stats['shed_rate']:.2f}  "
+                f"p99 {stats['p99_total_ms']:7.1f} ms  "
+                f"(wall {stats['wall_ms']:.0f} ms)"
+            )
+    payload = {
+        "schema": 1,
+        "bench": "gateway_overload_curve",
+        "params": {
+            "seed": SEED,
+            "duration_ms": DURATION_MS,
+            "multipliers": list(MULTIPLIERS),
+        },
+        "scenarios": scenarios,
+    }
+    with open(args.output, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -20,6 +20,9 @@ Subcommands::
     python -m repro trace labels.fsdl -s 0 -t 63 [--fail-vertex 5 ...] \
         [--format text|json]
     python -m repro bench [--queries 120] [--repeats 5] [--emit BENCH.json]
+    python -m repro traffic [--seed 0] [--duration-ms 1000] \
+        [--multiplier 4.0] [--no-cache] [--no-coalescing] \
+        [--format prom|json]
 
 ``GRAPH_SPEC`` selects a generator: ``path:64``, ``cycle:32``,
 ``grid:8x8``, ``grid:4x4x4``, ``torus:6x6``, ``tree:50`` (optionally
@@ -569,6 +572,42 @@ def cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_traffic(args: argparse.Namespace) -> int:
+    """``repro traffic``: the overload battery, judged against its SLOs.
+
+    Replays the standard seeded 4x-overload mix (three tenants, diurnal
+    phases, a fault burst, a mid-run shard outage) through the async
+    gateway on virtual time, judges every outcome against BFS ground
+    truth, and prints the SLO report.  Exit status 1 when any invariant
+    or SLO was violated — the same contract ``repro metrics`` has.
+    """
+    import json as json_module
+
+    from repro.gateway import standard_traffic_battery
+    from repro.obs.export import render_prometheus
+    from repro.obs.registry import Registry
+
+    registry = Registry()
+    report = standard_traffic_battery(
+        seed=args.seed,
+        duration_ms=args.duration_ms,
+        offered_multiplier=args.multiplier,
+        use_cache=not args.no_cache,
+        coalescing=not args.no_coalescing,
+        obs=registry,
+    )
+    if args.format == "json":
+        print(json_module.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(render_prometheus(registry), end="")
+        print(f"# {report.summary()}")
+    if not report.ok:
+        for violation in report.violations[:20]:
+            print(f"violation: {violation}", file=sys.stderr)
+        return 1
+    return 0
+
+
 def cmd_verify(args: argparse.Namespace) -> int:
     """``repro verify``: check a scheme against the paper's definitions."""
     from repro.labeling import ForbiddenSetLabeling, LabelingOptions
@@ -794,6 +833,33 @@ def build_parser() -> argparse.ArgumentParser:
         help="also write the payload as JSON to PATH (e.g. BENCH_5.json)",
     )
     p_bench.set_defaults(func=cmd_bench)
+
+    p_traffic = sub.add_parser(
+        "traffic",
+        help="run the seeded overload battery through the async gateway",
+    )
+    p_traffic.add_argument("--seed", type=int, default=0)
+    p_traffic.add_argument(
+        "--duration-ms", type=float, default=1000.0,
+        help="virtual milliseconds of traffic to replay",
+    )
+    p_traffic.add_argument(
+        "--multiplier", type=float, default=4.0,
+        help="offered load relative to what the backend absorbs",
+    )
+    p_traffic.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the label cache layer",
+    )
+    p_traffic.add_argument(
+        "--no-coalescing", action="store_true",
+        help="disable in-flight request coalescing",
+    )
+    p_traffic.add_argument(
+        "--format", choices=["prom", "json"], default="prom",
+        help="prom = Prometheus text + summary line, json = full report",
+    )
+    p_traffic.set_defaults(func=cmd_traffic)
 
     return parser
 

@@ -103,3 +103,15 @@ class LabelFetchError(ServiceError):
 
 class DeadlineExceededError(LabelFetchError):
     """Raised when a per-request deadline budget runs out mid-fetch."""
+
+
+class GatewayError(ServiceError):
+    """Raised by the async admission-control gateway (:mod:`repro.gateway`).
+
+    Covers lifecycle and scheduler misuse — submitting to a closed
+    gateway, awaiting a virtual-time loop that has deadlocked (every
+    task blocked with no pending wakeup), mismatched clocks between the
+    gateway and its service.  Overload itself is *not* an error: shed
+    requests resolve normally with an explicit
+    :class:`~repro.service.frontend.DegradationReason`.
+    """

@@ -1,0 +1,83 @@
+"""Overload-resilient async gateway for the label-serving tier.
+
+Everything needed to put the one-call-at-a-time
+:class:`~repro.service.frontend.QueryService` behind a multi-tenant
+front door that sheds load *explicitly*:
+
+* :mod:`repro.gateway.loop` — a deterministic async event loop on
+  virtual time (tasks, futures, timers; no wall clock anywhere);
+* :mod:`repro.gateway.admission` — token-bucket quotas and a bounded
+  waiting room drained by deficit round robin;
+* :mod:`repro.gateway.cache` — a generation-keyed LRU label cache
+  with negative caching, and a caching drop-in for the resilient
+  client;
+* :mod:`repro.gateway.gateway` — the :class:`AsyncGateway` itself:
+  admission, fairness, coalescing, explicit shed reasons;
+* :mod:`repro.gateway.traffic` — a seeded open-loop traffic model
+  (Zipf popularity, tenant mixes, diurnal phases, fault bursts);
+* :mod:`repro.gateway.battery` — the SLO battery judging every
+  outcome against BFS ground truth.
+"""
+
+from repro.gateway.admission import QuotaPolicy, TokenBucket, WaitingRoom
+from repro.gateway.battery import (
+    GatewayBattery,
+    ShardOutage,
+    SLOPolicy,
+    SLOReport,
+    standard_traffic_battery,
+)
+from repro.gateway.cache import (
+    CacheMetrics,
+    CachingLabelClient,
+    LabelCache,
+)
+from repro.gateway.gateway import (
+    AsyncGateway,
+    GatewayConfig,
+    GatewayMetrics,
+    GatewayOutcome,
+    GatewayRequest,
+)
+from repro.gateway.loop import Event, Future, Task, VirtualLoop
+from repro.gateway.traffic import (
+    FaultBurst,
+    TenantProfile,
+    TimedRequest,
+    TrafficConfig,
+    TrafficGenerator,
+    TrafficPhase,
+    ZipfSampler,
+    overload_mix,
+)
+
+__all__ = [
+    "AsyncGateway",
+    "CacheMetrics",
+    "CachingLabelClient",
+    "Event",
+    "FaultBurst",
+    "Future",
+    "GatewayBattery",
+    "GatewayConfig",
+    "GatewayMetrics",
+    "GatewayOutcome",
+    "GatewayRequest",
+    "LabelCache",
+    "QuotaPolicy",
+    "SLOPolicy",
+    "SLOReport",
+    "ShardOutage",
+    "Task",
+    "TenantProfile",
+    "TimedRequest",
+    "TokenBucket",
+    "TrafficConfig",
+    "TrafficGenerator",
+    "TrafficPhase",
+    "VirtualLoop",
+    "WaitingRoom",
+    "ZipfSampler",
+    "overload_mix",
+    "standard_traffic_battery",
+]

@@ -1,0 +1,191 @@
+"""Admission control: token-bucket quotas and a fair bounded waiting room.
+
+Two mechanisms guard the gateway's front door, both measured in
+virtual milliseconds and both *explicit* about what they reject:
+
+* :class:`TokenBucket` — per-tenant rate limiting.  A tenant whose
+  bucket is empty at arrival is shed with
+  :data:`~repro.service.frontend.DegradationReason.QUOTA_EXCEEDED`
+  before consuming any queue space.
+* :class:`WaitingRoom` — one bounded queue per tenant, drained by
+  **deficit round robin** (Shreedhar & Varghese).  Each request
+  carries a *cost* (the number of labels its query must fetch, the
+  unit the backend actually spends), each backlogged tenant earns
+  ``quantum`` deficit per round, and a tenant may dequeue only while
+  its deficit covers the head request's cost — so a hot tenant
+  flooding cheap or expensive queries cannot starve the others, and
+  long-run served cost is proportional across backlogged tenants.
+  A full room sheds with ``SHED_OVERLOAD``; space is bounded globally
+  (the protection) and per tenant (the isolation).
+
+Everything is deterministic: tenant activation order is arrival
+order, ties never depend on dict iteration, and time only moves when
+the caller's clock does.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Generic, TypeVar
+
+from repro.exceptions import GatewayError
+
+T = TypeVar("T")
+
+
+class TokenBucket:
+    """A classic token bucket on virtual time (tokens per millisecond).
+
+    Refills lazily at ``rate_per_ms`` up to ``burst``; ``try_take``
+    either pays the cost in full or leaves the bucket untouched (no
+    partial debiting, so rejected work never eats quota).
+    """
+
+    __slots__ = ("rate_per_ms", "burst", "_tokens", "_refilled_at")
+
+    def __init__(
+        self, rate_per_ms: float, burst: float, now_ms: float = 0.0
+    ) -> None:
+        if rate_per_ms <= 0:
+            raise GatewayError(f"rate must be positive, got {rate_per_ms}")
+        if burst <= 0:
+            raise GatewayError(f"burst must be positive, got {burst}")
+        self.rate_per_ms = rate_per_ms
+        self.burst = float(burst)
+        self._tokens = float(burst)
+        self._refilled_at = float(now_ms)
+
+    def tokens(self, now_ms: float) -> float:
+        """Tokens available at ``now_ms`` (refills as a side effect)."""
+        if now_ms > self._refilled_at:
+            self._tokens = min(
+                self.burst,
+                self._tokens + (now_ms - self._refilled_at) * self.rate_per_ms,
+            )
+            self._refilled_at = now_ms
+        return self._tokens
+
+    def try_take(self, now_ms: float, cost: float = 1.0) -> bool:
+        """Spend ``cost`` tokens if available; False leaves state as-is."""
+        if self.tokens(now_ms) < cost:
+            return False
+        self._tokens -= cost
+        return True
+
+
+@dataclass(frozen=True)
+class QuotaPolicy:
+    """Per-tenant token-bucket knobs (tokens ≈ requests)."""
+
+    rate_per_ms: float = 0.5
+    burst: float = 25.0
+
+
+@dataclass
+class _TenantQueue(Generic[T]):
+    """One tenant's FIFO plus its DRR deficit counter."""
+
+    items: deque = field(default_factory=deque)  # of (item, cost)
+    deficit: float = 0.0
+    queued_cost: float = 0.0
+    #: whether this tenant already earned its quantum for the current
+    #: head-of-rotation visit (reset when it rotates or goes idle)
+    earned: bool = False
+
+
+class WaitingRoom(Generic[T]):
+    """Bounded per-tenant queues drained by deficit round robin.
+
+    ``push`` refuses (returns False) when the global bound or the
+    tenant's own bound is hit — the caller turns that into an explicit
+    ``SHED_OVERLOAD``.  ``pick`` implements DRR: the active list is a
+    FIFO of backlogged tenants; the tenant at the head earns
+    ``quantum`` deficit on each visit, serves head-of-line requests
+    while the deficit covers their cost, and rotates to the tail when
+    it cannot (or goes idle when empty, forfeiting leftover deficit —
+    the standard rule that keeps an idle tenant from hoarding credit).
+    """
+
+    def __init__(
+        self,
+        capacity: int,
+        quantum: float = 4.0,
+        per_tenant_capacity: int | None = None,
+    ) -> None:
+        if capacity < 1:
+            raise GatewayError(f"capacity must be >= 1, got {capacity}")
+        if quantum <= 0:
+            raise GatewayError(f"quantum must be positive, got {quantum}")
+        self.capacity = capacity
+        self.quantum = float(quantum)
+        self.per_tenant_capacity = (
+            capacity if per_tenant_capacity is None else per_tenant_capacity
+        )
+        self._queues: dict[str, _TenantQueue[T]] = {}
+        self._active: deque[str] = deque()  # backlogged tenants, FIFO
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def tenants(self) -> tuple[str, ...]:
+        """Every tenant ever seen, in first-arrival order."""
+        return tuple(self._queues)
+
+    def depth(self, tenant: str) -> int:
+        """Requests currently queued for ``tenant``."""
+        queue = self._queues.get(tenant)
+        return len(queue.items) if queue is not None else 0
+
+    def push(self, tenant: str, item: T, cost: float = 1.0) -> bool:
+        """Enqueue, or return False when a bound would be exceeded."""
+        if cost <= 0:
+            raise GatewayError(f"request cost must be positive, got {cost}")
+        if self._size >= self.capacity:
+            return False
+        queue = self._queues.get(tenant)
+        if queue is None:
+            queue = self._queues[tenant] = _TenantQueue()
+        if len(queue.items) >= self.per_tenant_capacity:
+            return False
+        if not queue.items:
+            self._active.append(tenant)
+        queue.items.append((item, cost))
+        queue.queued_cost += cost
+        self._size += 1
+        return True
+
+    def pick(self) -> T | None:
+        """Dequeue the next request under DRR (None when empty)."""
+        while self._active:
+            tenant = self._active[0]
+            queue = self._queues[tenant]
+            if not queue.items:
+                # tenant drained between rounds: deactivate, drop credit
+                self._active.popleft()
+                queue.deficit = 0.0
+                queue.earned = False
+                continue
+            if not queue.earned:
+                # the quantum is earned ONCE per head-of-rotation visit;
+                # re-earning on every pick would let the head tenant
+                # serve forever and starve the rest
+                queue.deficit += self.quantum
+                queue.earned = True
+            if queue.deficit < queue.items[0][1]:
+                # deficit spent: hand the head of the rotation onwards
+                self._active.rotate(-1)
+                queue.earned = False
+                continue
+            item, cost = queue.items.popleft()
+            queue.deficit -= cost
+            queue.queued_cost -= cost
+            self._size -= 1
+            if not queue.items:
+                self._active.popleft()
+                queue.deficit = 0.0
+                queue.earned = False
+            return item
+        return None

@@ -1,0 +1,327 @@
+"""A seeded open-loop traffic model: Zipf users, phases, fault bursts.
+
+The traffic battery needs load that looks like production — a hot set
+of popular vertices, tenants of very different sizes, arrival rates
+that swing through calm and rush-hour phases, and correlated failure
+bursts that concentrate the forbidden sets inside a ball — while
+staying *perfectly reproducible*.  Everything here is driven by one
+seed through :func:`repro.util.rng.make_rng` and one virtual-time
+axis, so the same seed always yields byte-identical request streams.
+
+The model is **open-loop**: arrival times are drawn up front from the
+phase-modulated Poisson process and never react to gateway latency.
+That is the honest way to measure overload — a closed-loop generator
+slows down exactly when the system is saturated, hiding the very
+regime the battery exists to probe (cf. Schroeder et al., "Open
+Versus Closed: A Cautionary Tale").
+
+Vertex popularity is Zipf-distributed over a seeded permutation of
+the vertex ids (so "which vertex is hot" varies by seed while the
+popularity *shape* stays fixed), sampled in O(log n) by bisecting the
+precomputed CDF.  Users are drawn per-tenant from ranges sized in the
+millions — the point is not to hold per-user state (the generator
+holds none) but to exercise tenant-level admission with realistic
+user-id cardinality.
+
+Fault bursts model correlated failures: for the duration of a burst,
+queries carry forbidden sets sampled *inside a BFS ball* ``B(center,
+radius)`` — the doubling-dimension setting's natural failure locality
+(a region outage takes out a metric ball, not a uniform scatter).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.exceptions import QueryError
+from repro.gateway.gateway import GatewayRequest
+from repro.graphs.graph import Graph
+from repro.graphs.traversal import bfs_distances
+from repro.util.rng import RngLike, make_rng
+
+
+@dataclass(frozen=True)
+class TenantProfile:
+    """One tenant's share of the traffic mix.
+
+    ``weight`` sets the tenant's fraction of arrivals; ``num_users``
+    sizes the simulated user population its requests are drawn from;
+    ``fault_rate`` is the per-request probability of carrying a
+    forbidden set outside burst windows; ``deadline_ms`` is attached
+    to every request (None = the gateway default).
+    """
+
+    name: str
+    weight: float = 1.0
+    num_users: int = 1_000_000
+    fault_rate: float = 0.05
+    max_faults: int = 3
+    deadline_ms: float | None = None
+
+
+@dataclass(frozen=True)
+class TrafficPhase:
+    """A window of the diurnal curve: a rate multiplier for a duration."""
+
+    duration_ms: float
+    rate_multiplier: float = 1.0
+
+
+@dataclass(frozen=True)
+class FaultBurst:
+    """A window where forbidden sets concentrate inside ``B(center, radius)``.
+
+    While ``start_ms <= t < start_ms + duration_ms``, every request's
+    fault draw uses ``burst_fault_rate`` and samples fault vertices
+    from the BFS ball around ``center`` (``center`` picked by the
+    generator when None), modelling a correlated regional outage.
+    """
+
+    start_ms: float
+    duration_ms: float
+    radius: int = 2
+    burst_fault_rate: float = 0.6
+    center: int | None = None
+
+
+@dataclass(frozen=True)
+class TrafficConfig:
+    """Everything that shapes a request stream (all seeded, no wall time)."""
+
+    #: mean arrivals per virtual millisecond at multiplier 1.0
+    base_rate_per_ms: float = 0.1
+    zipf_exponent: float = 1.1
+    tenants: tuple[TenantProfile, ...] = (TenantProfile("default"),)
+    phases: tuple[TrafficPhase, ...] = ()
+    bursts: tuple[FaultBurst, ...] = ()
+
+
+class ZipfSampler:
+    """Zipf-popular vertices over a seeded rank permutation.
+
+    Rank ``k`` (0-based) has weight ``1 / (k + 1) ** exponent``; which
+    vertex holds which rank is a seeded shuffle.  Sampling bisects the
+    cumulative weight table — O(log n) per draw, deterministic.
+    """
+
+    def __init__(
+        self, num_vertices: int, exponent: float = 1.1, rng: RngLike = None
+    ) -> None:
+        if num_vertices < 1:
+            raise QueryError(
+                f"need at least one vertex, got {num_vertices}"
+            )
+        if exponent < 0:
+            raise QueryError(f"Zipf exponent must be >= 0, got {exponent}")
+        rng = make_rng(rng)
+        self._by_rank = list(range(num_vertices))
+        rng.shuffle(self._by_rank)
+        self._cdf: list[float] = []
+        total = 0.0
+        for rank in range(num_vertices):
+            total += 1.0 / float(rank + 1) ** exponent
+            self._cdf.append(total)
+        self._total = total
+
+    def sample(self, rng: RngLike) -> int:
+        """Draw one vertex (hot ranks exponentially more likely)."""
+        u = make_rng(rng).random() * self._total
+        return self._by_rank[bisect_left(self._cdf, u)]
+
+    def rank_of(self, vertex: int) -> int:
+        """The popularity rank the seeded permutation gave ``vertex``."""
+        return self._by_rank.index(vertex)
+
+
+@dataclass(frozen=True)
+class TimedRequest:
+    """One arrival: when it lands (virtual ms) and what it asks."""
+
+    at_ms: float
+    request: GatewayRequest
+
+
+class TrafficGenerator:
+    """Deterministic open-loop request stream over a graph.
+
+    Construct once, then call :meth:`generate` (a materialised list)
+    or iterate :meth:`arrivals` lazily.  Identical ``(graph, config,
+    seed)`` triples produce identical streams — the bit-identity half
+    of the battery's acceptance criteria starts here.
+    """
+
+    def __init__(
+        self, graph: Graph, config: TrafficConfig, seed: RngLike = None
+    ) -> None:
+        if not config.tenants:
+            raise QueryError("traffic needs at least one tenant profile")
+        if config.base_rate_per_ms <= 0:
+            raise QueryError(
+                f"base rate must be positive, got {config.base_rate_per_ms}"
+            )
+        self.graph = graph
+        self.config = config
+        self._rng = make_rng(seed)
+        self.zipf = ZipfSampler(
+            graph.num_vertices, config.zipf_exponent, self._rng
+        )
+        weights = [t.weight for t in config.tenants]
+        if min(weights) <= 0:
+            raise QueryError("tenant weights must be positive")
+        self._tenant_cdf: list[float] = []
+        total = 0.0
+        for w in weights:
+            total += w
+            self._tenant_cdf.append(total)
+        self._tenant_total = total
+        # resolve burst centers up front so ball membership is fixed
+        self._balls: list[tuple[FaultBurst, list[int]]] = []
+        for burst in config.bursts:
+            center = (
+                burst.center if burst.center is not None
+                else self.zipf.sample(self._rng)
+            )
+            ball = sorted(
+                bfs_distances(graph, center, radius=burst.radius)
+            )
+            self._balls.append((burst, ball))
+
+    # -- sampling helpers ---------------------------------------------------
+
+    def _pick_tenant(self) -> TenantProfile:
+        u = self._rng.random() * self._tenant_total
+        return self.config.tenants[bisect_left(self._tenant_cdf, u)]
+
+    def _rate_at(self, at_ms: float) -> float:
+        rate = self.config.base_rate_per_ms
+        if not self.config.phases:
+            return rate
+        cycle = sum(p.duration_ms for p in self.config.phases)
+        offset = at_ms % cycle
+        for phase in self.config.phases:
+            if offset < phase.duration_ms:
+                return rate * phase.rate_multiplier
+            offset -= phase.duration_ms
+        return rate * self.config.phases[-1].rate_multiplier
+
+    def _active_burst(
+        self, at_ms: float
+    ) -> tuple[FaultBurst, list[int]] | None:
+        for burst, ball in self._balls:
+            if burst.start_ms <= at_ms < burst.start_ms + burst.duration_ms:
+                return burst, ball
+        return None
+
+    def _sample_faults(
+        self, at_ms: float, tenant: TenantProfile, s: int, t: int
+    ) -> tuple[int, ...]:
+        active = self._active_burst(at_ms)
+        if active is not None:
+            burst, ball = active
+            if self._rng.random() < burst.burst_fault_rate:
+                pool = [v for v in ball if v != s and v != t]
+                if pool:
+                    count = min(
+                        1 + self._rng.randrange(tenant.max_faults), len(pool)
+                    )
+                    return tuple(self._rng.sample(pool, count))
+            return ()
+        if self._rng.random() >= tenant.fault_rate:
+            return ()
+        count = 1 + self._rng.randrange(tenant.max_faults)
+        faults: list[int] = []
+        seen = {s, t}
+        for _ in range(count):
+            v = self.zipf.sample(self._rng)
+            if v not in seen:
+                seen.add(v)
+                faults.append(v)
+        return tuple(faults)
+
+    def _sample_request(self, at_ms: float) -> GatewayRequest:
+        tenant = self._pick_tenant()
+        s = self.zipf.sample(self._rng)
+        t = self.zipf.sample(self._rng)
+        while t == s:
+            t = self.zipf.sample(self._rng)
+        return GatewayRequest(
+            tenant=tenant.name,
+            s=s,
+            t=t,
+            vertex_faults=self._sample_faults(at_ms, tenant, s, t),
+            deadline_ms=tenant.deadline_ms,
+            user_id=self._rng.randrange(tenant.num_users),
+        )
+
+    # -- the stream ---------------------------------------------------------
+
+    def arrivals(
+        self, duration_ms: float, start_ms: float = 0.0
+    ) -> Iterator[TimedRequest]:
+        """Lazily yield time-ordered arrivals in ``[start, start+duration)``.
+
+        Open-loop Poisson process: exponential interarrival gaps whose
+        mean tracks the phase-modulated rate at the current instant.
+        """
+        if duration_ms <= 0:
+            raise QueryError(
+                f"duration must be positive, got {duration_ms}"
+            )
+        at = float(start_ms)
+        end = start_ms + duration_ms
+        while True:
+            at += self._rng.expovariate(self._rate_at(at))
+            if at >= end:
+                return
+            yield TimedRequest(at_ms=at, request=self._sample_request(at))
+
+    def generate(
+        self, duration_ms: float, start_ms: float = 0.0
+    ) -> list[TimedRequest]:
+        """Materialise :meth:`arrivals` (handy for replay and batteries)."""
+        return list(self.arrivals(duration_ms, start_ms))
+
+
+def overload_mix(
+    offered_multiplier: float = 4.0,
+    base_rate_per_ms: float = 1.0,
+) -> TrafficConfig:
+    """The battery's standard tenant mix at a given overload factor.
+
+    Three tenants — a heavy aggregator, a steady mid-size product, and
+    a light interactive tail — with rush-hour phases and one fault
+    burst mid-run.  ``offered_multiplier`` scales the whole curve
+    relative to ``base_rate_per_ms`` (1.0 ≈ what a serial backend with
+    ~1 ms fetches can absorb; 4.0 is the acceptance regime).
+    """
+    return TrafficConfig(
+        base_rate_per_ms=base_rate_per_ms * offered_multiplier,
+        zipf_exponent=1.3,
+        tenants=(
+            TenantProfile(
+                "aggregator", weight=3.0, num_users=5_000_000,
+                fault_rate=0.05, max_faults=3,
+            ),
+            TenantProfile(
+                "product", weight=1.5, num_users=2_000_000,
+                fault_rate=0.08, max_faults=2,
+            ),
+            TenantProfile(
+                "interactive", weight=0.5, num_users=1_000_000,
+                fault_rate=0.02, max_faults=1, deadline_ms=150.0,
+            ),
+        ),
+        phases=(
+            TrafficPhase(duration_ms=400.0, rate_multiplier=0.6),
+            TrafficPhase(duration_ms=300.0, rate_multiplier=1.6),
+            TrafficPhase(duration_ms=300.0, rate_multiplier=1.0),
+        ),
+        bursts=(
+            FaultBurst(
+                start_ms=450.0, duration_ms=250.0, radius=2,
+                burst_fault_rate=0.6,
+            ),
+        ),
+    )

@@ -18,7 +18,7 @@ table itself is slow, flaky or partially down:
   backoff and cooldown is measured against (deterministic, no sleeping).
 """
 
-from repro.service.clock import VirtualClock
+from repro.service.clock import VirtualClock, Wakeup
 from repro.service.client import (
     BreakerPolicy,
     CircuitBreaker,
@@ -28,6 +28,7 @@ from repro.service.client import (
     RetryPolicy,
 )
 from repro.service.frontend import (
+    SHED_REASONS,
     DegradationReason,
     MissingLabel,
     QueryOutcome,
@@ -54,8 +55,10 @@ __all__ = [
     "ResilientLabelClient",
     "RetryPolicy",
     "SHARD_EVENT_KINDS",
+    "SHED_REASONS",
     "ServiceMetrics",
     "ShardHealth",
     "ShardedLabelStore",
     "VirtualClock",
+    "Wakeup",
 ]

@@ -33,6 +33,7 @@ shard restores exact ``(1+ε)`` answers with no restart or rebuild.
 from __future__ import annotations
 
 import math
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from enum import Enum
 from typing import TYPE_CHECKING
@@ -54,12 +55,18 @@ if TYPE_CHECKING:
 
 
 class DegradationReason(str, Enum):
-    """Why an answer is degraded — a closed vocabulary, not prose.
+    """Why an answer is degraded or shed — a closed vocabulary, not prose.
 
     The members inherit from ``str``, so existing comparisons against
     the literal strings (``outcome.reason == "endpoint_unavailable"``)
     and f-string interpolation keep working; new code should compare
     against the enum members and get typo-safety for free.
+
+    The first two members describe *degraded* answers (the query ran
+    but labels were missing).  The ``SHED_*`` / ``QUOTA_*`` / ``QUEUE_*``
+    members describe *shed* requests: the admission layer of
+    :mod:`repro.gateway` rejected the work before (or instead of)
+    running it — explicitly, never as a silent timeout.
     """
 
     #: an endpoint (``s`` or ``t``) label could not be fetched —
@@ -68,9 +75,36 @@ class DegradationReason(str, Enum):
     #: only fault labels are missing — the subset answer certifies a
     #: lower bound
     FAULT_LABELS_UNAVAILABLE = "fault_labels_unavailable"
+    #: the gateway's waiting room was full: the request was rejected at
+    #: admission to protect work already accepted
+    SHED_OVERLOAD = "shed_overload"
+    #: the tenant's token-bucket quota was exhausted at admission
+    QUOTA_EXCEEDED = "quota_exceeded"
+    #: the request's deadline expired while it sat in the waiting room,
+    #: so it was shed at dequeue instead of burning backend work
+    QUEUE_DEADLINE = "queue_deadline"
 
     def __str__(self) -> str:
         return self.value
+
+
+#: reasons that mark a request *shed by admission control* (the work
+#: never reached the decoder), as opposed to *degraded* (it ran, but
+#: some label was missing)
+SHED_REASONS = frozenset({
+    DegradationReason.SHED_OVERLOAD,
+    DegradationReason.QUOTA_EXCEEDED,
+    DegradationReason.QUEUE_DEADLINE,
+})
+
+#: the one queries-by-status-and-reason counter family; the gateway
+#: emits ``status="shed"`` rows into the same family, so name and help
+#: live here as the single source of truth (the registry rejects
+#: mismatched help strings)
+QUERIES_TOTAL = "repro_queries_total"
+QUERIES_TOTAL_HELP = "Frontend queries answered, by status and reason."
+QUERY_LATENCY = "repro_query_latency_ms"
+QUERY_LATENCY_HELP = "End-to-end query latency in virtual milliseconds."
 
 
 @dataclass(frozen=True)
@@ -129,12 +163,30 @@ class ServiceMetrics:
     exact_answers: int = 0
     degraded_answers: int = 0
     decode_failures: int = 0
+    #: label decodes skipped because the identical bytes were decoded
+    #: before (decoded labels are immutable and safely shared)
+    decode_memo_hits: int = 0
     latencies_ms: list[float] = field(default_factory=list)
+    #: per-:class:`DegradationReason` counts of non-exact answers, keyed
+    #: by the reason's string value (only reasons that occurred appear)
+    reason_counts: dict[str, int] = field(default_factory=dict)
 
     @property
     def degraded_rate(self) -> float:
-        """Fraction of answered queries that were degraded."""
+        """Fraction of answered queries that were degraded.
+
+        Division-by-zero safe: 0.0 before the first query, and every
+        reason — including the gateway's shed reasons, which are
+        counted by :class:`~repro.gateway.gateway.GatewayMetrics`, not
+        here — contributes to ``degraded_answers`` at most once.
+        """
         return self.degraded_answers / self.queries if self.queries else 0.0
+
+    def count_reason(self, reason: "DegradationReason | None") -> None:
+        """Tally one answer's reason (None, i.e. exact, is not counted)."""
+        if reason is not None:
+            key = str(reason)
+            self.reason_counts[key] = self.reason_counts.get(key, 0) + 1
 
 
 class QueryService:
@@ -148,10 +200,15 @@ class QueryService:
         default_deadline_ms: float = 120.0,
         obs: "Registry | None" = None,
         tracer: "Tracer | None" = None,
+        decode_memo_size: int = 512,
         **client_kwargs,
     ) -> None:
         if stretch_bound < 1.0:
             raise QueryError(f"stretch bound {stretch_bound} below 1")
+        if decode_memo_size < 0:
+            raise QueryError(
+                f"decode memo size must be >= 0, got {decode_memo_size}"
+            )
         self._store = store
         self.stretch_bound = stretch_bound
         self.obs = obs
@@ -166,6 +223,8 @@ class QueryService:
             store.attach_observability(obs)
         self.default_deadline_ms = default_deadline_ms
         self.metrics = ServiceMetrics()
+        self._decode_memo_size = decode_memo_size
+        self._decode_memo: "OrderedDict[bytes, object]" = OrderedDict()
 
     # -- constructors -------------------------------------------------------
 
@@ -323,7 +382,7 @@ class QueryService:
                     missing.append(MissingLabel(vertex, role, outcome.error))
                     continue
                 try:
-                    labels[vertex] = decode_label(outcome.data)
+                    labels[vertex] = self._decode(outcome.data)
                 except DECODE_ERRORS as exc:
                     # CRC passed but the bytes do not decode
                     # (LabelCorruptionError included): surface it as a fetch
@@ -394,35 +453,67 @@ class QueryService:
             version=version,
         ))
 
+    def _decode(self, data: bytes):
+        """Decode label bytes, memoised on the exact byte string.
+
+        Decoded labels are immutable (the decoder only reads them), so
+        identical bytes — the common case under Zipf traffic, where a
+        small hot set of labels backs most queries — decode once.  The
+        memo is keyed by content, not vertex or generation, so a
+        rollout that rewrites a label simply misses.  Costs no virtual
+        time: this is a real-CPU optimisation, invisible to the clock.
+        """
+        memo = self._decode_memo
+        label = memo.get(data)
+        if label is not None:
+            memo.move_to_end(data)
+            self.metrics.decode_memo_hits += 1
+            return label
+        label = decode_label(data)
+        if self._decode_memo_size:
+            if len(memo) >= self._decode_memo_size:
+                memo.popitem(last=False)
+            memo[data] = label
+        return label
+
     def _record(self, outcome: QueryOutcome) -> QueryOutcome:
         if outcome.exact:
             self.metrics.exact_answers += 1
         else:
             self.metrics.degraded_answers += 1
+        self.metrics.count_reason(outcome.reason)
         self.metrics.latencies_ms.append(outcome.latency_ms)
         if self.obs is not None:
             self.obs.counter(
-                "repro_queries_total",
-                "Frontend queries answered, by status and reason.",
+                QUERIES_TOTAL,
+                QUERIES_TOTAL_HELP,
                 status=outcome.status,
                 reason="" if outcome.reason is None else str(outcome.reason),
             ).inc()
             self.obs.histogram(
-                "repro_query_latency_ms",
-                "End-to-end query latency in virtual milliseconds.",
+                QUERY_LATENCY,
+                QUERY_LATENCY_HELP,
             ).observe(outcome.latency_ms)
         return outcome
 
     # -- reporting ----------------------------------------------------------
 
     def metrics_summary(self) -> dict[str, float]:
-        """Frontend + client counters in one flat dict (stable order)."""
+        """Frontend + client counters in one flat dict (stable order).
+
+        Per-reason counts appear as ``reason_<value>`` keys in sorted
+        order, so the dict stays byte-stable for a given run while
+        still covering every :class:`DegradationReason` that occurred.
+        """
         summary: dict[str, float] = {
             "queries": self.metrics.queries,
             "exact_answers": self.metrics.exact_answers,
             "degraded_answers": self.metrics.degraded_answers,
             "degraded_rate": round(self.metrics.degraded_rate, 4),
             "decode_failures": self.metrics.decode_failures,
+            "decode_memo_hits": self.metrics.decode_memo_hits,
         }
+        for reason in sorted(self.metrics.reason_counts):
+            summary[f"reason_{reason}"] = self.metrics.reason_counts[reason]
         summary.update(self.client.metrics.snapshot())
         return summary

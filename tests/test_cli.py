@@ -208,3 +208,27 @@ class TestObsCommands:
             payload = json.load(handle)
         assert payload["bench"] == "obs_decode_overhead"
         assert payload["deterministic"]["decode_spans"] == 10
+
+
+class TestTrafficCommand:
+    def test_traffic_prom_output_and_summary(self, capsys):
+        argv = ["traffic", "--seed", "1", "--duration-ms", "120"]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "repro_traffic_shed_rate" in out
+        assert "repro_gateway_requests_total{" in out
+        assert "# traffic battery seed=1: OK" in out
+
+    def test_traffic_json_is_deterministic(self, capsys):
+        import json
+
+        argv = ["traffic", "--seed", "2", "--duration-ms", "120",
+                "--format", "json"]
+        assert main(argv) == 0
+        one = capsys.readouterr().out
+        assert main(argv) == 0
+        two = capsys.readouterr().out
+        assert one == two
+        payload = json.loads(one)
+        assert payload["ok"] is True
+        assert payload["submitted"] > 0

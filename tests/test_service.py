@@ -507,7 +507,20 @@ class TestDegradationReason:
         assert {reason.value for reason in DegradationReason} == {
             "endpoint_unavailable",
             "fault_labels_unavailable",
+            "shed_overload",
+            "quota_exceeded",
+            "queue_deadline",
         }
+
+    def test_shed_reasons_are_the_gateway_subset(self):
+        from repro.service import SHED_REASONS
+
+        assert SHED_REASONS == {
+            DegradationReason.SHED_OVERLOAD,
+            DegradationReason.QUOTA_EXCEEDED,
+            DegradationReason.QUEUE_DEADLINE,
+        }
+        assert DegradationReason.ENDPOINT_UNAVAILABLE not in SHED_REASONS
 
     def test_string_compatibility(self):
         reason = DegradationReason.ENDPOINT_UNAVAILABLE

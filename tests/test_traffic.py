@@ -1,0 +1,244 @@
+"""Tests for the seeded open-loop traffic generator.
+
+The generator is the front half of the battery's bit-identity
+guarantee: identical ``(graph, config, seed)`` triples must produce
+identical request streams, and every structural promise the model
+makes (Zipf popularity, phase modulation, burst locality, valid
+endpoints) must hold on the stream it emits.
+"""
+
+import pytest
+
+from repro.exceptions import QueryError
+from repro.gateway import (
+    FaultBurst,
+    TenantProfile,
+    TrafficConfig,
+    TrafficGenerator,
+    TrafficPhase,
+    ZipfSampler,
+    overload_mix,
+)
+from repro.graphs.generators import grid_graph
+from repro.graphs.traversal import bfs_distances
+from repro.util.rng import make_rng
+
+
+def _grid():
+    return grid_graph(8, 8)
+
+
+class TestZipfSampler:
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(QueryError):
+            ZipfSampler(0)
+        with pytest.raises(QueryError):
+            ZipfSampler(10, exponent=-0.5)
+
+    def test_hot_ranks_dominate(self):
+        sampler = ZipfSampler(50, exponent=1.2, rng=make_rng(1))
+        rng = make_rng(2)
+        counts = [0] * 50
+        for _ in range(4000):
+            counts[sampler.rank_of(sampler.sample(rng))] += 1
+        # rank 0 must clearly beat the tail, and the top 5 ranks
+        # together must carry most of the mass
+        assert counts[0] > counts[25]
+        assert sum(counts[:5]) > 4000 * 0.5
+
+    def test_permutation_is_seeded(self):
+        a = ZipfSampler(30, rng=make_rng(7))
+        b = ZipfSampler(30, rng=make_rng(7))
+        c = ZipfSampler(30, rng=make_rng(8))
+        ranks_a = [a.rank_of(v) for v in range(30)]
+        ranks_b = [b.rank_of(v) for v in range(30)]
+        ranks_c = [c.rank_of(v) for v in range(30)]
+        assert ranks_a == ranks_b
+        assert ranks_a != ranks_c
+
+
+class TestTrafficValidation:
+    def test_needs_a_tenant(self):
+        with pytest.raises(QueryError):
+            TrafficGenerator(_grid(), TrafficConfig(tenants=()), seed=0)
+
+    def test_rate_must_be_positive(self):
+        with pytest.raises(QueryError):
+            TrafficGenerator(
+                _grid(), TrafficConfig(base_rate_per_ms=0.0), seed=0
+            )
+
+    def test_tenant_weights_must_be_positive(self):
+        config = TrafficConfig(
+            tenants=(TenantProfile("a"), TenantProfile("b", weight=0.0))
+        )
+        with pytest.raises(QueryError):
+            TrafficGenerator(_grid(), config, seed=0)
+
+    def test_duration_must_be_positive(self):
+        gen = TrafficGenerator(_grid(), TrafficConfig(), seed=0)
+        with pytest.raises(QueryError):
+            list(gen.arrivals(0.0))
+
+
+class TestStreamInvariants:
+    def test_same_seed_is_bit_identical(self):
+        config = overload_mix()
+        first = TrafficGenerator(_grid(), config, seed=11).generate(300.0)
+        second = TrafficGenerator(_grid(), config, seed=11).generate(300.0)
+        assert first == second
+        assert len(first) > 0
+
+    def test_different_seeds_differ(self):
+        config = overload_mix()
+        first = TrafficGenerator(_grid(), config, seed=11).generate(300.0)
+        second = TrafficGenerator(_grid(), config, seed=12).generate(300.0)
+        assert first != second
+
+    def test_arrivals_are_time_ordered_within_window(self):
+        gen = TrafficGenerator(_grid(), overload_mix(), seed=5)
+        stream = gen.generate(500.0, start_ms=100.0)
+        times = [timed.at_ms for timed in stream]
+        assert times == sorted(times)
+        assert all(100.0 <= at < 600.0 for at in times)
+
+    def test_endpoints_are_valid_and_distinct(self):
+        graph = _grid()
+        gen = TrafficGenerator(graph, overload_mix(), seed=5)
+        for timed in gen.generate(400.0):
+            request = timed.request
+            assert 0 <= request.s < graph.num_vertices
+            assert 0 <= request.t < graph.num_vertices
+            assert request.s != request.t
+            assert request.s not in request.vertex_faults
+            assert request.t not in request.vertex_faults
+
+    def test_tenant_mix_tracks_weights(self):
+        config = TrafficConfig(
+            base_rate_per_ms=2.0,
+            tenants=(
+                TenantProfile("heavy", weight=4.0),
+                TenantProfile("light", weight=1.0),
+            ),
+        )
+        gen = TrafficGenerator(_grid(), config, seed=9)
+        stream = gen.generate(2000.0)
+        heavy = sum(1 for t in stream if t.request.tenant == "heavy")
+        light = len(stream) - heavy
+        assert heavy > 2.0 * light  # 4:1 expected; allow sampling noise
+
+    def test_tenant_deadline_is_attached(self):
+        config = TrafficConfig(
+            base_rate_per_ms=1.0,
+            tenants=(TenantProfile("fast", deadline_ms=100.0),),
+        )
+        gen = TrafficGenerator(_grid(), config, seed=3)
+        stream = gen.generate(200.0)
+        assert stream
+        assert all(t.request.deadline_ms == 100.0 for t in stream)
+
+    def test_user_ids_respect_population(self):
+        config = TrafficConfig(
+            base_rate_per_ms=1.0,
+            tenants=(TenantProfile("small", num_users=10),),
+        )
+        gen = TrafficGenerator(_grid(), config, seed=3)
+        stream = gen.generate(300.0)
+        assert stream
+        assert all(0 <= t.request.user_id < 10 for t in stream)
+
+
+class TestPhases:
+    def test_phase_multiplier_modulates_rate(self):
+        quiet_then_rush = TrafficConfig(
+            base_rate_per_ms=1.0,
+            phases=(
+                TrafficPhase(duration_ms=500.0, rate_multiplier=0.2),
+                TrafficPhase(duration_ms=500.0, rate_multiplier=2.0),
+            ),
+        )
+        gen = TrafficGenerator(_grid(), quiet_then_rush, seed=21)
+        stream = gen.generate(1000.0)
+        quiet = sum(1 for t in stream if t.at_ms < 500.0)
+        rush = len(stream) - quiet
+        # 10x rate ratio must show clearly even with Poisson noise
+        assert rush > 3 * quiet
+
+    def test_phases_cycle(self):
+        config = TrafficConfig(
+            base_rate_per_ms=1.0,
+            phases=(
+                TrafficPhase(duration_ms=100.0, rate_multiplier=0.1),
+                TrafficPhase(duration_ms=100.0, rate_multiplier=3.0),
+            ),
+        )
+        gen = TrafficGenerator(_grid(), config, seed=2)
+        stream = gen.generate(800.0)
+        # the second cycle's rush window (t in [300, 400)) must be busy
+        second_rush = sum(1 for t in stream if 300.0 <= t.at_ms < 400.0)
+        second_quiet = sum(1 for t in stream if 200.0 <= t.at_ms < 300.0)
+        assert second_rush > second_quiet
+
+
+class TestFaultBursts:
+    def test_burst_faults_lie_inside_the_ball(self):
+        graph = _grid()
+        center = 27
+        burst = FaultBurst(
+            start_ms=0.0, duration_ms=500.0, radius=2,
+            burst_fault_rate=1.0, center=center,
+        )
+        config = TrafficConfig(
+            base_rate_per_ms=1.0,
+            tenants=(TenantProfile("t", fault_rate=0.0, max_faults=3),),
+            bursts=(burst,),
+        )
+        gen = TrafficGenerator(graph, config, seed=17)
+        ball = set(bfs_distances(graph, center, radius=2))
+        stream = gen.generate(500.0)
+        with_faults = [t for t in stream if t.request.vertex_faults]
+        assert with_faults  # rate 1.0 inside the burst: faults do occur
+        for timed in with_faults:
+            assert set(timed.request.vertex_faults) <= ball
+
+    def test_no_faults_outside_burst_when_rate_zero(self):
+        burst = FaultBurst(
+            start_ms=100.0, duration_ms=50.0, burst_fault_rate=1.0,
+            center=0,
+        )
+        config = TrafficConfig(
+            base_rate_per_ms=1.0,
+            tenants=(TenantProfile("t", fault_rate=0.0),),
+            bursts=(burst,),
+        )
+        gen = TrafficGenerator(_grid(), config, seed=17)
+        for timed in gen.generate(400.0):
+            if not 100.0 <= timed.at_ms < 150.0:
+                assert timed.request.vertex_faults == ()
+
+    def test_burst_center_defaults_to_seeded_pick(self):
+        burst = FaultBurst(start_ms=0.0, duration_ms=200.0)
+        config = TrafficConfig(
+            base_rate_per_ms=1.0,
+            tenants=(TenantProfile("t"),),
+            bursts=(burst,),
+        )
+        a = TrafficGenerator(_grid(), config, seed=4).generate(200.0)
+        b = TrafficGenerator(_grid(), config, seed=4).generate(200.0)
+        assert a == b
+
+
+class TestOverloadMix:
+    def test_mix_shape(self):
+        config = overload_mix(offered_multiplier=4.0, base_rate_per_ms=1.0)
+        assert config.base_rate_per_ms == 4.0
+        names = [t.name for t in config.tenants]
+        assert names == ["aggregator", "product", "interactive"]
+        assert config.bursts and config.phases
+
+    def test_mix_streams_are_reproducible(self):
+        graph = grid_graph(10, 10)
+        config = overload_mix()
+        a = TrafficGenerator(graph, config, seed=0).generate(250.0)
+        b = TrafficGenerator(graph, config, seed=0).generate(250.0)
+        assert a == b
