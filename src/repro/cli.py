@@ -36,6 +36,7 @@ from __future__ import annotations
 import argparse
 import math
 import sys
+from typing import Any
 
 from repro.exceptions import ReproError
 from repro.graphs.graph import Graph
@@ -474,12 +475,31 @@ def cmd_serve_chaos(args: argparse.Namespace) -> int:
 
 
 def cmd_lint(args: argparse.Namespace) -> int:
-    """``repro lint``: run the contract-enforcing static-analysis pass."""
-    from repro.lint import lint_paths, render_json, render_text, rule_catalogue
+    """``repro lint``: run the contract-enforcing static-analysis pass.
+
+    ``--deep`` stacks the whole-program rules (RPL010–013) on top of
+    the per-file pass; ``--changed-only REF`` restricts *reporting*
+    (never analysis — interprocedural findings need the whole program)
+    to files changed since a git ref.
+    """
+    from repro.lint import (
+        LintResult,
+        deep_lint_paths,
+        deep_rule_catalogue,
+        deep_rule_ids,
+        expand_select,
+        lint_paths,
+        render_json,
+        render_sarif,
+        render_text,
+        rule_catalogue,
+    )
 
     if args.list_rules:
-        for rule in rule_catalogue():
-            print(f"{rule['id']}  [{rule['severity']}]  {rule['summary']}")
+        catalogue = rule_catalogue() + deep_rule_catalogue()
+        for rule in catalogue:
+            deep = " (--deep)" if rule["id"] in deep_rule_ids() else ""
+            print(f"{rule['id']}  [{rule['severity']}]  {rule['summary']}{deep}")
             print(f"        contract: {rule['contract']}")
         return 0
     from pathlib import Path
@@ -490,15 +510,97 @@ def cmd_lint(args: argparse.Namespace) -> int:
     select = None
     if args.select:
         select = [part.strip() for part in args.select.split(",") if part.strip()]
+    local_select, deep_select = _split_lint_select(
+        select, deep=args.deep, expand=expand_select
+    )
     try:
-        result = lint_paths(args.paths, select=select)
+        result = lint_paths(args.paths, select=local_select)
+        if args.deep and deep_select != []:
+            deep_result = deep_lint_paths(
+                args.paths,
+                select=deep_select,
+                cache_path=args.cache,
+            )
+            result = LintResult(
+                findings=tuple(sorted(result.findings + deep_result.findings)),
+                files_scanned=result.files_scanned,
+            )
     except ValueError as exc:  # e.g. --select with an unknown rule id
         raise ReproError(str(exc)) from exc
+    if args.changed_only is not None:
+        result = _restrict_to_changed(result, args.changed_only)
     if args.format == "json":
         print(render_json(result))
+    elif args.format == "sarif":
+        print(render_sarif(result))
     else:
         print(render_text(result))
     return 0 if result.ok else 1
+
+
+def _split_lint_select(
+    select: list[str] | None, deep: bool, expand: Any
+) -> tuple[list[str] | None, list[str] | None]:
+    """Partition ``--select`` tokens into per-file and deep rule sets.
+
+    Without ``--deep``, a token matching only deep rules is an error
+    that points at the flag.  Returns ``(local, deep)`` selections;
+    ``None`` means "all rules of that tier", ``[]`` means "none".
+    """
+    from repro.lint.deep_rules import DEEP_RULES
+    from repro.lint.engine import META_RULE_ID
+    from repro.lint.rules import ALL_RULES
+
+    if select is None:
+        return None, None
+    local_ids = {rule.rule_id for rule in ALL_RULES} | {META_RULE_ID}
+    deep_ids = {rule.rule_id for rule in DEEP_RULES}
+    try:
+        wanted = expand(select, local_ids | deep_ids)
+    except ValueError as exc:
+        raise ReproError(str(exc)) from exc
+    deep_wanted = sorted(wanted & deep_ids)
+    if deep_wanted and not deep:
+        raise ReproError(
+            f"rule ids {deep_wanted} are whole-program rules; "
+            "run with --deep to enable them"
+        )
+    return sorted(wanted & local_ids), deep_wanted
+
+
+def _restrict_to_changed(result: Any, ref: str) -> Any:
+    """Keep only findings in files changed since ``ref`` (git diff).
+
+    Analysis already ran over the whole program; this trims the
+    *report*, which is the only sound way to scope interprocedural
+    findings to a diff.
+    """
+    import subprocess
+
+    from repro.lint import LintResult
+
+    try:
+        proc = subprocess.run(
+            ["git", "diff", "--name-only", ref, "--"],
+            capture_output=True,
+            text=True,
+            check=True,
+        )
+    except (OSError, subprocess.CalledProcessError) as exc:
+        raise ReproError(
+            f"--changed-only: cannot diff against {ref!r}: {exc}"
+        ) from exc
+    changed = {
+        line.strip().replace("\\", "/")
+        for line in proc.stdout.splitlines()
+        if line.strip()
+    }
+    kept = tuple(
+        finding
+        for finding in result.findings
+        if finding.path.replace("\\", "/") in changed
+    )
+    return LintResult(findings=kept, files_scanned=result.files_scanned)
 
 
 def cmd_metrics(args: argparse.Namespace) -> int:
@@ -774,12 +876,29 @@ def build_parser() -> argparse.ArgumentParser:
         help="files/directories to lint (default: src/repro tools)",
     )
     p_lint.add_argument(
-        "--format", choices=["text", "json"], default="text",
-        help="report format (json is the stable CI interface)",
+        "--format", choices=["text", "json", "sarif"], default="text",
+        help="report format (json is the stable CI interface; sarif "
+             "annotates PR diffs)",
     )
     p_lint.add_argument(
-        "--select", default=None, metavar="RPL001,RPL002",
-        help="comma-separated rule ids to run (default: all)",
+        "--select", default=None, metavar="RPL001,RPL01x",
+        help="comma-separated rule ids to run; a trailing 'x' is a "
+             "digit wildcard (RPL01x = the whole family)",
+    )
+    p_lint.add_argument(
+        "--deep", action="store_true",
+        help="also run the whole-program rules (RPL010-013: call-graph "
+             "exception flow, cooperative races, nondeterminism taint, "
+             "hot-path allocations)",
+    )
+    p_lint.add_argument(
+        "--changed-only", default=None, metavar="REF",
+        help="report only findings in files changed since the git REF "
+             "(analysis still covers the whole program)",
+    )
+    p_lint.add_argument(
+        "--cache", default=None, metavar="PATH",
+        help="file-hash fact cache for --deep (incremental re-runs)",
     )
     p_lint.add_argument(
         "--list-rules", action="store_true",

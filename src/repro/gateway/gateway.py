@@ -303,7 +303,9 @@ class AsyncGateway:
     async def drain(self) -> None:
         """Close and wait until every worker has finished every request."""
         self.close()
-        for worker in self._workers:
+        # snapshot: iterating the live worker list across awaits would
+        # race with concurrent mutation at the yield points (RPL011)
+        for worker in tuple(self._workers):
             await worker.future
 
     # -- workers ------------------------------------------------------------
@@ -326,28 +328,38 @@ class AsyncGateway:
             return
         key = self._coalesce_key(request)
         if key is not None:
-            entry = self._inflight.get(key)
-            if entry is not None:
+            first_look = True
+            while True:
+                entry = self._inflight.get(key)
+                if entry is None:
+                    if first_look:
+                        await self._lead(pending, key, queue_ms)
+                        return
+                    # a leader existed when we were dequeued but shed
+                    # while we waited; run solo under our own budget
+                    break
+                first_look = False
                 leader_future, leader_deadline = entry
                 # attach only when our deadline is no tighter than the
                 # leader's: the leader resolves within *its* budget, so
                 # a tighter follower could receive the answer only
                 # after its own deadline — a silent timeout in disguise
-                if pending.deadline_at_ms >= leader_deadline:
-                    outcome = await leader_future
-                    if outcome is not None:
-                        self.metrics.coalesced += 1
-                        self._resolve_answer(
-                            pending, outcome, queue_ms, coalesced=True
-                        )
-                        return
-                    # the leader shed at its deadline; fall through and
-                    # try on our own (re-checking our own budget first)
+                if pending.deadline_at_ms < leader_deadline:
+                    break
+                outcome = await leader_future
+                if outcome is not None:
+                    self.metrics.coalesced += 1
+                    self._resolve_answer(
+                        pending, outcome, queue_ms, coalesced=True
+                    )
+                    return
+                # the leader shed at its deadline; the in-flight map may
+                # have changed across the await, so re-validate it — a
+                # new leader registered during the yield is attachable,
+                # falling straight to a solo query would duplicate its
+                # backend work (RPL011)
                 if self._shed_if_late(pending):
                     return
-            else:
-                await self._lead(pending, key, queue_ms)
-                return
         if self._shed_if_late(pending):
             return
         outcome = self._query(request, pending.deadline_at_ms)

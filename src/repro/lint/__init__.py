@@ -23,6 +23,24 @@ RPL005    mutable default arguments
 RPL006    ``assert`` used for runtime validation in library code
 RPL007    unsorted set/dict iteration feeding serialization writers
 RPL008    missing return annotations on public API
+RPL009    raw durable write/rename outside the atomic-write helper
+========  ==============================================================
+
+A second, *whole-program* tier (``repro lint --deep``) links every
+file into a call graph (:mod:`repro.lint.callgraph`), runs worklist
+dataflow over it (:mod:`repro.lint.dataflow`), and checks the
+interprocedural rules (:mod:`repro.lint.deep_rules`):
+
+========  ==============================================================
+RPL010    corruption error absorbed by a broad ``except`` anywhere in
+          a call chain before reaching a sanctioned boundary
+RPL011    cooperative-race hazards in ``VirtualLoop`` coroutines:
+          unawaited coroutines, transitively blocking calls, shared
+          state cached across an ``await``
+RPL012    unordered-container iteration flowing interprocedurally
+          into CRC computation or serialization/export sinks
+RPL013    (advisory) per-query dict/set allocations reachable from
+          the decoder entry, with call depth
 ========  ==============================================================
 
 Findings can be suppressed per line with a justified comment::
@@ -35,6 +53,14 @@ itself an error (RPL000).  Run the pass with ``repro lint [paths ...]``
 ``static`` job gates every PR on a clean run over ``src/repro tools``.
 """
 
+from repro.lint.callgraph import Program, build_program
+from repro.lint.dataflow import FactCache, fixpoint
+from repro.lint.deep import (
+    deep_check_sources,
+    deep_lint_paths,
+    deep_rule_ids,
+)
+from repro.lint.deep_rules import DEEP_RULES, DeepRule, deep_rule_catalogue
 from repro.lint.engine import (
     Finding,
     LintEngine,
@@ -42,21 +68,34 @@ from repro.lint.engine import (
     Rule,
     SourceFile,
     collect_files,
+    expand_select,
     lint_paths,
 )
-from repro.lint.reporting import render_json, render_text
+from repro.lint.reporting import render_json, render_sarif, render_text
 from repro.lint.rules import ALL_RULES, rule_catalogue
 
 __all__ = [
     "ALL_RULES",
+    "DEEP_RULES",
+    "DeepRule",
+    "FactCache",
     "Finding",
     "LintEngine",
     "LintResult",
+    "Program",
     "Rule",
     "SourceFile",
+    "build_program",
     "collect_files",
+    "deep_check_sources",
+    "deep_lint_paths",
+    "deep_rule_catalogue",
+    "deep_rule_ids",
+    "expand_select",
+    "fixpoint",
     "lint_paths",
     "render_json",
+    "render_sarif",
     "render_text",
     "rule_catalogue",
 ]

@@ -1,0 +1,127 @@
+"""Worklist dataflow engine and fact cache for the ``--deep`` pass.
+
+Two small, self-contained pieces:
+
+* :func:`fixpoint` — a deterministic forward may-analysis over the
+  call graph.  Each function owns a *summary* (any equality-comparable
+  value); a transfer function recomputes one summary from the current
+  summaries of its callees; when a summary changes, the function's
+  callers are re-queued.  The pending set is drained in sorted
+  qualname order, so the fixpoint — and therefore every finding
+  derived from it — is reproducible bit-for-bit across runs and
+  machines regardless of dict seeding.
+* :class:`FactCache` — file-hash memoization for the extraction phase
+  (:func:`repro.lint.callgraph.extract_module_facts`).  Extraction
+  dominates deep-lint cost; its output depends only on one file's
+  bytes, so it is cached under ``sha256(text)``.  Linking and the
+  fixpoint are recomputed every run — they are cross-file and cheap.
+
+The cache file is plain JSON, written with sorted keys; unknown
+hashes are pruned on save so the file tracks the current tree instead
+of growing without bound.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Any, Callable, Mapping, Sequence
+
+#: cache-schema version; bump to invalidate existing cache files.
+CACHE_VERSION = 1
+
+
+def fixpoint(
+    qualnames: Sequence[str],
+    callers: Mapping[str, Sequence[str]],
+    init: Callable[[str], Any],
+    transfer: Callable[[str, Mapping[str, Any]], Any],
+    max_rounds: int = 10_000,
+) -> dict[str, Any]:
+    """Iterate ``transfer`` to a fixpoint over the call graph.
+
+    ``init(qualname)`` seeds each summary; ``transfer(qualname,
+    summaries)`` recomputes one from the current map.  The analysis is
+    monotone as long as ``transfer`` only grows summaries (may-
+    analysis); ``max_rounds`` is a safety net against a non-monotone
+    transfer, not a tuning knob.
+    """
+    summaries: dict[str, Any] = {q: init(q) for q in sorted(qualnames)}
+    pending = set(summaries)
+    rounds = 0
+    while pending:
+        rounds += 1
+        if rounds > max_rounds:
+            raise RuntimeError(
+                "deep-lint dataflow did not converge "
+                f"(> {max_rounds} worklist rounds); transfer function "
+                "is not monotone"
+            )
+        current = min(pending)  # deterministic drain order
+        pending.discard(current)
+        updated = transfer(current, summaries)
+        if updated != summaries[current]:
+            summaries[current] = updated
+            for caller in callers.get(current, ()):
+                if caller in summaries:
+                    pending.add(caller)
+    return summaries
+
+
+def text_hash(text: str) -> str:
+    """Content hash used as the fact-cache key."""
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+class FactCache:
+    """sha256(text) -> module facts, persisted as sorted-key JSON."""
+
+    def __init__(self, path: str | Path | None = None) -> None:
+        self.path = Path(path) if path is not None else None
+        self._facts: dict[str, dict] = {}
+        self._touched: set[str] = set()
+        self.hits = 0
+        self.misses = 0
+        if self.path is not None and self.path.exists():
+            try:
+                raw = json.loads(self.path.read_text(encoding="utf-8"))
+            except (ValueError, OSError):
+                raw = {}
+            if raw.get("version") == CACHE_VERSION:
+                stored = raw.get("files", {})
+                if isinstance(stored, dict):
+                    self._facts = stored
+
+    def get(self, text: str) -> dict | None:
+        """Cached facts for a file's exact bytes, or None."""
+        key = text_hash(text)
+        self._touched.add(key)
+        found = self._facts.get(key)
+        if found is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return found
+
+    def put(self, text: str, facts: dict) -> None:
+        """Record freshly extracted facts under the file's hash."""
+        key = text_hash(text)
+        self._touched.add(key)
+        self._facts[key] = facts
+
+    def save(self) -> None:
+        """Write the cache, dropping entries not touched this run."""
+        if self.path is None:
+            return
+        kept = {
+            key: self._facts[key]
+            for key in sorted(self._facts)
+            if key in self._touched
+        }
+        payload = {"version": CACHE_VERSION, "files": kept}
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self.path.write_text(
+            json.dumps(payload, sort_keys=True, separators=(",", ":")),
+            encoding="utf-8",
+        )

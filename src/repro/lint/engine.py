@@ -190,8 +190,12 @@ class LintResult:
 
     @property
     def ok(self) -> bool:
-        """True when the run produced no findings at all."""
-        return not self.findings
+        """True when no *error*-severity findings were produced.
+
+        Advisory (``info``) findings — the RPL013 allocation audit —
+        are reported but do not fail the run.
+        """
+        return all(f.severity != "error" for f in self.findings)
 
     def counts(self) -> dict[str, int]:
         """Findings per rule id (sorted keys, deterministic)."""
@@ -214,10 +218,9 @@ class LintEngine:
 
             rules = [rule_cls() for rule_cls in ALL_RULES]
         if select is not None:
-            wanted = set(select)
-            unknown = wanted - {rule.rule_id for rule in rules} - {META_RULE_ID}
-            if unknown:
-                raise ValueError(f"unknown rule ids: {sorted(unknown)}")
+            wanted = expand_select(
+                select, {rule.rule_id for rule in rules} | {META_RULE_ID}
+            )
             rules = [rule for rule in rules if rule.rule_id in wanted]
         self.rules = list(rules)
 
@@ -286,6 +289,38 @@ class LintEngine:
                 continue
             kept.append(finding)
         return kept
+
+
+_PREFIX_RE = re.compile(r"RPL\d+x+$")
+
+
+def expand_select(tokens: Iterable[str], known: set[str]) -> set[str]:
+    """Expand ``--select`` tokens against the known rule ids.
+
+    A trailing run of ``x`` characters is a digit wildcard: ``RPL01x``
+    matches every known id of the same length starting ``RPL01``.  A
+    token that matches nothing — exact or prefix — raises
+    ``ValueError`` so typos fail loudly instead of silently selecting
+    an empty rule set.
+    """
+    wanted: set[str] = set()
+    unknown: list[str] = []
+    for token in tokens:
+        if _PREFIX_RE.fullmatch(token):
+            prefix = token.rstrip("x")
+            matches = {
+                rule_id for rule_id in known
+                if rule_id.startswith(prefix) and len(rule_id) == len(token)
+            }
+        else:
+            matches = {token} if token in known else set()
+        if matches:
+            wanted.update(matches)
+        else:
+            unknown.append(token)
+    if unknown:
+        raise ValueError(f"unknown rule ids: {sorted(set(unknown))}")
+    return wanted
 
 
 def collect_files(paths: Iterable[str | Path]) -> list[Path]:

@@ -1,4 +1,4 @@
-"""Reporters for lint results: human text and machine JSON.
+"""Reporters for lint results: human text, machine JSON, and SARIF.
 
 The JSON document is the stable interface for CI tooling; its schema
 (version 1) is::
@@ -15,6 +15,10 @@ The JSON document is the stable interface for CI tooling; its schema
       ]
     }
 
+The SARIF document (2.1.0) is what CI uploads to annotate PR diffs:
+one run, one ``repro-lint`` driver whose rule table is built from the
+findings present, results keyed by rule id with physical locations.
+
 Findings are sorted by (path, line, col, rule) and keys are emitted in
 sorted order, so two runs over the same tree produce byte-identical
 reports — the lint pass honors the determinism contract it enforces.
@@ -28,6 +32,17 @@ from repro.lint.engine import LintResult
 
 #: schema version of the JSON report.
 JSON_SCHEMA_VERSION = 1
+
+#: SARIF spec version emitted by :func:`render_sarif`.
+SARIF_VERSION = "2.1.0"
+
+_SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+#: finding severity -> SARIF result level.
+_SARIF_LEVELS = {"error": "error", "warning": "warning", "info": "note"}
 
 
 def render_text(result: LintResult) -> str:
@@ -63,6 +78,73 @@ def render_json(result: LintResult) -> str:
                 "message": finding.message,
             }
             for finding in result.findings
+        ],
+    }
+    return json.dumps(document, indent=2, sort_keys=True)
+
+
+def render_sarif(result: LintResult) -> str:
+    """SARIF 2.1.0 report (deterministic bytes, for CI diff annotation).
+
+    The rule table lists every rule that produced a finding, pulling
+    summaries from the per-file and deep catalogues; severities map to
+    SARIF levels (``info`` → ``note``, so the RPL013 allocation audit
+    annotates without failing checks).
+    """
+    from repro.lint.deep_rules import deep_rule_catalogue
+    from repro.lint.rules import rule_catalogue
+
+    summaries = {
+        entry["id"]: entry["summary"]
+        for entry in rule_catalogue() + deep_rule_catalogue()
+    }
+    fired = sorted({finding.rule for finding in result.findings})
+    rules = [
+        {
+            "id": rule_id,
+            "shortDescription": {
+                "text": summaries.get(rule_id, "lint infrastructure")
+            },
+        }
+        for rule_id in fired
+    ]
+    results = [
+        {
+            "ruleId": finding.rule,
+            "ruleIndex": fired.index(finding.rule),
+            "level": _SARIF_LEVELS.get(finding.severity, "warning"),
+            "message": {"text": finding.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": finding.path,
+                            "uriBaseId": "SRCROOT",
+                        },
+                        "region": {
+                            "startLine": finding.line,
+                            "startColumn": finding.col,
+                        },
+                    }
+                }
+            ],
+        }
+        for finding in result.findings
+    ]
+    document = {
+        "$schema": _SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-lint",
+                        "rules": rules,
+                    }
+                },
+                "originalUriBaseIds": {"SRCROOT": {"uri": "file:///"}},
+                "results": results,
+            }
         ],
     }
     return json.dumps(document, indent=2, sort_keys=True)

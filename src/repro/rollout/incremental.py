@@ -245,7 +245,7 @@ class IncrementalRelabeler:
         return RelabelPlan(
             change=change,
             new_graph=new_graph,
-            affected=tuple(sorted(affected)),
+            affected=affected,
             labels=labels,
         )
 
@@ -280,7 +280,7 @@ class IncrementalRelabeler:
 
     def _affected_region(
         self, new_graph: Graph, change: GraphChange
-    ) -> set[int]:
+    ) -> tuple[int, ...]:
         old_graph = self._graph
         sources = change.sources()
         affected: set[int] = set(sources)
@@ -318,7 +318,11 @@ class IncrementalRelabeler:
                 }
                 if old_row != new_row:
                     affected |= ball_union
-        return {v for v in affected if 0 <= v < old_graph.num_vertices}
+        # sorted tuple, not the raw set: callers iterate this to rebuild
+        # labels, and that iteration order must be deterministic (RPL012)
+        return tuple(
+            sorted(v for v in affected if 0 <= v < old_graph.num_vertices)
+        )
 
 
 def _multi_source_distances(

@@ -1,0 +1,26 @@
+"""RPL010 bad fixture: a corruption signal swallowed mid-chain.
+
+``refresh`` absorbs a :class:`LabelCorruptionError` raised two calls
+below it behind an ``except ReproError`` with no re-raise and no use
+of the exception — the corruption never reaches a sanctioned
+boundary.
+"""
+
+from repro.exceptions import LabelCorruptionError, ReproError
+
+
+def check_payload(payload: bytes) -> int:
+    if payload[:2] != b"RP":
+        raise LabelCorruptionError("bad magic")
+    return len(payload)
+
+
+def load_entry(payload: bytes) -> int:
+    return check_payload(payload)
+
+
+def refresh(payload: bytes) -> int:
+    try:
+        return load_entry(payload)
+    except ReproError:
+        return -1

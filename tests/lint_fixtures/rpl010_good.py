@@ -1,0 +1,39 @@
+"""RPL010 good fixture: corruption reaches sanctioned boundaries.
+
+Same call chain as the bad fixture, but every covering handler either
+re-raises, routes the payload to a quarantine function, or sits in a
+CLI ``main`` — all sanctioned ways for a corruption signal to end.
+"""
+
+from repro.exceptions import LabelCorruptionError, ReproError
+
+
+def check_payload(payload: bytes) -> int:
+    if payload[:2] != b"RP":
+        raise LabelCorruptionError("bad magic")
+    return len(payload)
+
+
+def load_entry(payload: bytes) -> int:
+    return check_payload(payload)
+
+
+def refresh(payload: bytes) -> int:
+    try:
+        return load_entry(payload)
+    except ReproError:
+        raise
+
+
+def quarantine_entry(payload: bytes) -> int:
+    try:
+        return load_entry(payload)
+    except ReproError:
+        return -1
+
+
+def main(payload: bytes) -> int:
+    try:
+        return load_entry(payload)
+    except ReproError:
+        return 2

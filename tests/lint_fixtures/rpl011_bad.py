@@ -1,0 +1,35 @@
+"""RPL011 bad fixture: three cooperative-concurrency races.
+
+* ``tick`` calls a coroutine as a bare statement — the body never
+  runs.
+* ``poll`` reaches ``time.time`` through a sync helper — a coroutine
+  must not read the wall clock.
+* ``admit`` caches shared gateway state before an ``await`` and uses
+  the stale value after it.
+"""
+
+import time
+
+
+class Gateway:
+    def __init__(self) -> None:
+        self._inflight: dict[str, int] = {}
+
+    async def refresh(self) -> None:
+        self._inflight.clear()
+
+    async def tick(self) -> None:
+        self.refresh()
+
+    def _measure(self) -> float:
+        return time.time()
+
+    async def poll(self) -> float:
+        return self._measure()
+
+    async def admit(self, key: str) -> int:
+        entry = self._inflight.get(key)
+        await self.refresh()
+        if entry is None:
+            return 0
+        return entry + 1

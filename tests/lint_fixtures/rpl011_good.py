@@ -1,0 +1,28 @@
+"""RPL011 good fixture: the same shapes, raced correctly.
+
+Coroutines are awaited, the clock comes from the injected loop, and
+shared state is re-read after every ``await`` before use.
+"""
+
+
+class Gateway:
+    def __init__(self, loop) -> None:
+        self._loop = loop
+        self._inflight: dict[str, int] = {}
+
+    async def refresh(self) -> None:
+        self._inflight.clear()
+
+    async def tick(self) -> None:
+        await self.refresh()
+
+    async def poll(self) -> float:
+        await self._loop.sleep(1)
+        return float(self._loop.now())
+
+    async def admit(self, key: str) -> int:
+        await self.refresh()
+        entry = self._inflight.get(key)
+        if entry is None:
+            return 0
+        return entry + 1

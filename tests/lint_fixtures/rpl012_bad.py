@@ -1,0 +1,22 @@
+"""RPL012 bad fixture: set-iteration order leaks into a CRC.
+
+``fold`` iterates a freshly built set and folds the elements in
+whatever order hashing yields; ``stamp`` feeds the result to
+``zlib.crc32`` — the checksum depends on hash-seed iteration order.
+"""
+
+import zlib
+
+
+def fold(values: list[int]) -> int:
+    seen = {value & 0xFF for value in values}
+    digest = 0
+    for value in seen:
+        digest = (digest * 31 + value) & 0xFFFFFFFF
+    return digest
+
+
+def stamp(values: list[int]) -> int:
+    digest = fold(values)
+    payload = digest.to_bytes(4, "big")
+    return zlib.crc32(payload)

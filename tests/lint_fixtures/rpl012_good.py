@@ -1,0 +1,21 @@
+"""RPL012 good fixture: sort before deriving the checksummed value.
+
+Identical to the bad fixture except the iteration goes through
+``sorted(...)``, which pins the order and launders the taint.
+"""
+
+import zlib
+
+
+def fold(values: list[int]) -> int:
+    seen = {value & 0xFF for value in values}
+    digest = 0
+    for value in sorted(seen):
+        digest = (digest * 31 + value) & 0xFFFFFFFF
+    return digest
+
+
+def stamp(values: list[int]) -> int:
+    digest = fold(values)
+    payload = digest.to_bytes(4, "big")
+    return zlib.crc32(payload)

@@ -1,0 +1,19 @@
+"""RPL013 bad fixture: per-query allocations on the decode hot path.
+
+``decode_distance`` builds fresh sets per query and calls a helper
+that builds a dict — both show up in the advisory hot-path audit with
+their call depth from the entry.
+"""
+
+
+def _gather(hubs):
+    seen = {}
+    for hub in hubs:
+        seen[hub] = True
+    return seen
+
+
+def decode_distance(label_u, label_v):
+    common = set(label_u) & set(label_v)
+    table = _gather(common)
+    return len(table)

@@ -1,0 +1,19 @@
+"""RPL013 good fixture: an allocation-free decode hot path.
+
+``decode_distance`` walks the labels against a caller-provided
+scratch table — no containers are built per query, so the advisory
+audit stays silent.
+"""
+
+
+def decode_distance(label_u, label_v, scratch):
+    best = -1
+    for hub, du in label_u:
+        scratch[hub] = du
+    for hub, dv in label_v:
+        du = scratch[hub]
+        if du >= 0 and (best < 0 or du + dv < best):
+            best = du + dv
+    for hub, _ in label_u:
+        scratch[hub] = -1
+    return best
