@@ -19,12 +19,16 @@ checks invariants after every event.
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field, replace
 from typing import Iterator
 
 from repro.exceptions import QueryError
 from repro.graphs.graph import Graph
 from repro.util.rng import RngLike, make_rng
+
+#: schema tag of the canonical on-disk plan representation
+PLAN_SCHEMA = "repro/fault-plan@1"
 
 #: events understood by the network-simulator runner
 NETWORK_EVENT_KINDS = frozenset({
@@ -304,6 +308,155 @@ class FaultPlan:
     def with_loss(self, drop_probability: float) -> "FaultPlan":
         """The same schedule under a different message-loss model."""
         return replace(self, drop_probability=drop_probability)
+
+    # -- canonical JSON round-trip -----------------------------------------
+
+    def to_json(self) -> str:
+        """The plan as canonical, schema-versioned JSON.
+
+        Sorted keys, default-valued event fields omitted, trailing
+        newline — the shared on-disk representation of compiled
+        scenarios and scripted ``repro chaos`` plans.  Byte-stable:
+        ``FaultPlan.from_json(p.to_json()).to_json() == p.to_json()``.
+        """
+        events = []
+        for event in self.events:
+            row: dict[str, object] = {"kind": event.kind}
+            if event.vertex is not None:
+                row["vertex"] = event.vertex
+            if event.edge is not None:
+                row["edge"] = list(event.edge)
+            if event.s is not None:
+                row["s"] = event.s
+            if event.t is not None:
+                row["t"] = event.t
+            if event.rounds != 1:
+                row["rounds"] = event.rounds
+            if event.edges:
+                row["edges"] = [list(edge) for edge in event.edges]
+            if event.shard is not None:
+                row["shard"] = event.shard
+            if event.latency_ms is not None:
+                row["latency_ms"] = event.latency_ms
+            if event.probability is not None:
+                row["probability"] = event.probability
+            if event.faults:
+                row["faults"] = list(event.faults)
+            if event.fault_edges:
+                row["fault_edges"] = [list(edge) for edge in event.fault_edges]
+            events.append(row)
+        payload = {
+            "schema": PLAN_SCHEMA,
+            "name": self.name,
+            "seed": self.seed,
+            "drop_probability": self.drop_probability,
+            "events": events,
+        }
+        return json.dumps(payload, sort_keys=True, indent=2) + "\n"
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        """Parse a canonical plan document (strict, precise errors)."""
+        try:
+            payload = json.loads(text)
+        except ValueError as exc:
+            raise QueryError(f"plan document is not valid JSON: {exc}") \
+                from exc
+        if not isinstance(payload, dict):
+            raise QueryError(
+                f"plan document must be a JSON object, "
+                f"got {type(payload).__name__}"
+            )
+        schema = payload.get("schema")
+        if schema != PLAN_SCHEMA:
+            raise QueryError(
+                f"unknown plan schema {schema!r} (this reader speaks "
+                f"{PLAN_SCHEMA!r})"
+            )
+        known_top = {"schema", "name", "seed", "drop_probability", "events"}
+        for key in sorted(payload):
+            if key not in known_top:
+                raise QueryError(f"unknown plan field {key!r}")
+        rows = payload.get("events", [])
+        if not isinstance(rows, list):
+            raise QueryError("plan 'events' must be a list")
+        events = []
+        for index, row in enumerate(rows):
+            events.append(_event_from_dict(index, row))
+        return cls(
+            events=events,
+            drop_probability=payload.get("drop_probability", 0.0),
+            seed=payload.get("seed", 0),
+            name=payload.get("name", "scripted"),
+        )
+
+
+_EVENT_JSON_FIELDS = frozenset({
+    "kind", "vertex", "edge", "s", "t", "rounds", "edges", "shard",
+    "latency_ms", "probability", "faults", "fault_edges",
+})
+
+
+def _edge_from_json(index: int, value: object, fld: str) -> tuple[int, int]:
+    if (
+        not isinstance(value, list)
+        or len(value) != 2
+        or not all(isinstance(v, int) for v in value)
+    ):
+        raise QueryError(
+            f"event {index}: field {fld!r} must be a [a, b] pair, "
+            f"got {value!r}"
+        )
+    return (value[0], value[1])
+
+
+def _event_from_dict(index: int, row: object) -> ChaosEvent:
+    """One JSON event row back to a validated :class:`ChaosEvent`."""
+    if not isinstance(row, dict):
+        raise QueryError(
+            f"event {index}: must be a JSON object, "
+            f"got {type(row).__name__}"
+        )
+    kind = row.get("kind")
+    if kind not in EVENT_KINDS:
+        raise QueryError(
+            f"event {index}: unknown event kind {kind!r} "
+            f"(known: {', '.join(sorted(EVENT_KINDS))})"
+        )
+    for key in sorted(row):
+        if key not in _EVENT_JSON_FIELDS:
+            raise QueryError(f"event {index}: unknown field {key!r}")
+    values: dict[str, object] = {"kind": kind}
+    for fld in ("vertex", "s", "t", "shard", "latency_ms", "probability"):
+        if fld in row:
+            values[fld] = row[fld]
+    if "rounds" in row:
+        values["rounds"] = row["rounds"]
+    if "edge" in row:
+        values["edge"] = _edge_from_json(index, row["edge"], "edge")
+    for fld in ("edges", "fault_edges"):
+        if fld in row:
+            if not isinstance(row[fld], list):
+                raise QueryError(
+                    f"event {index}: field {fld!r} must be a list"
+                )
+            values[fld] = tuple(
+                _edge_from_json(index, item, fld) for item in row[fld]
+            )
+    if "faults" in row:
+        if not isinstance(row["faults"], list) or not all(
+            isinstance(v, int) for v in row["faults"]
+        ):
+            raise QueryError(
+                f"event {index}: field 'faults' must be a list of ints"
+            )
+        values["faults"] = tuple(row["faults"])
+    try:
+        return ChaosEvent(**values)
+    except QueryError as exc:
+        raise QueryError(f"event {index}: {exc}") from exc
+    except TypeError as exc:
+        raise QueryError(f"event {index}: malformed event: {exc}") from exc
 
 
 def _partition_cut(

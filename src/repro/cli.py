@@ -23,6 +23,12 @@ Subcommands::
     python -m repro traffic [--seed 0] [--duration-ms 1000] \
         [--multiplier 4.0] [--no-cache] [--no-coalescing] \
         [--format prom|json]
+    python -m repro scenario list
+    python -m repro scenario validate [FILE ...]
+    python -m repro scenario run FILE [--seed N] [--format text|json] \
+        [--emit-plan PLAN.json]
+    python -m repro scenario search GRAPH_SPEC [--objective stretch|degraded] \
+        [--budget 3] [--seed 0] [--emit FILE.scenario]
 
 ``GRAPH_SPEC`` selects a generator: ``path:64``, ``cycle:32``,
 ``grid:8x8``, ``grid:4x4x4``, ``torus:6x6``, ``tree:50`` (optionally
@@ -422,7 +428,21 @@ def cmd_serve_chaos(args: argparse.Namespace) -> int:
     )
     from repro.service import RetryPolicy
 
-    if args.graph is None:
+    if args.plan is not None:
+        from repro.chaos.plan import FaultPlan
+
+        if args.graph is None:
+            raise ReproError("serve-chaos --plan needs a graph spec")
+        graph = parse_graph_spec(args.graph)
+        with open(args.plan, "r", encoding="utf-8") as handle:
+            plan = FaultPlan.from_json(handle.read())
+        retry = RetryPolicy(hedging=not args.no_hedging)
+        reports = [run_service_plan(
+            graph, plan, epsilon=args.epsilon,
+            num_shards=args.shards, replication=args.replication,
+            retry=retry,
+        )]
+    elif args.graph is None:
         reports = service_standard_suite(
             num_schedules=args.schedules,
             num_events=args.events,
@@ -738,6 +758,131 @@ def cmd_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_scenario_list(args: argparse.Namespace) -> int:
+    """``repro scenario list``: the committed scenario library."""
+    from repro.scenario import catalogue
+
+    rows = catalogue(args.dir)
+    if not rows:
+        print("no scenarios found")
+        return 0
+    width = max(len(name) for name, _, _ in rows)
+    for name, path, trace in rows:
+        print(
+            f"{name:<{width}}  {trace.graph_spec:<12} "
+            f"{trace.duration_ms:>7.0f} ms  {len(trace.events):>3} events  "
+            f"seed {trace.seed}  ({path.name})"
+        )
+    return 0
+
+
+def cmd_scenario_validate(args: argparse.Namespace) -> int:
+    """``repro scenario validate``: parse + compile, fail loudly.
+
+    Every file is CRC-verified, round-tripped byte-for-byte through
+    the canonical serializer, and compiled against its graph — the
+    full strictness of the format, without replaying anything.
+    """
+    from repro.exceptions import ScenarioError
+    from repro.scenario import (
+        compile_trace,
+        load_scenario,
+        scenario_paths,
+        serialize_trace,
+    )
+
+    paths = args.files or [str(p) for p in scenario_paths(args.dir)]
+    if not paths:
+        print("no scenario files to validate")
+        return 0
+    failures = 0
+    for path in paths:
+        try:
+            trace = load_scenario(path)
+            with open(path, "r", encoding="utf-8") as handle:
+                text = handle.read()
+            canonical = serialize_trace(trace)
+            if text != canonical:
+                raise ScenarioError(
+                    "file is not in canonical form (re-serialize it)"
+                )
+            compiled = compile_trace(trace)
+            print(
+                f"OK {path}: {trace.name} on {trace.graph_spec} — "
+                f"{len(trace.events)} events, {len(compiled.actions)} "
+                f"actions, {len(compiled.probes)} probes"
+            )
+        except ScenarioError as exc:
+            failures += 1
+            print(f"FAIL {path}: {exc}")
+    return 0 if failures == 0 else 1
+
+
+def cmd_scenario_run(args: argparse.Namespace) -> int:
+    """``repro scenario run``: replay one trace through the full stack."""
+    import json as json_module
+
+    from repro.scenario import (
+        ScenarioRunner,
+        compile_trace,
+        load_scenario,
+    )
+
+    trace = load_scenario(args.file)
+    if args.seed is not None:
+        trace = trace.with_seed(args.seed)
+    compiled = compile_trace(trace)
+    if args.emit_plan:
+        with open(args.emit_plan, "w", encoding="utf-8") as handle:
+            handle.write(compiled.fault_plan().to_json())
+        print(f"wrote {args.emit_plan}")
+    report = ScenarioRunner(compiled, epsilon=args.epsilon).run()
+    if args.format == "json":
+        print(report.to_json(), end="")
+    else:
+        print(report.summary())
+        for row in report.windows:
+            print(
+                f"  [{row.start_ms:>7.1f}, {row.end_ms:>7.1f}) ms: "
+                f"{row.submitted:>4} req, availability "
+                f"{row.availability:.2f}, degraded {row.degraded_fraction:.2f}, "
+                f"worst stretch {row.worst_stretch:.3f}, "
+                f"detour {row.worst_detour:.3f}"
+            )
+    if not report.ok:
+        for violation in report.violations[:20]:
+            print(f"violation: {violation}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def cmd_scenario_search(args: argparse.Namespace) -> int:
+    """``repro scenario search``: adversarial worst-F hunt, emitted as a trace."""
+    from repro.scenario import serialize_trace, worst_f_search
+
+    result = worst_f_search(
+        args.graph,
+        objective=args.objective,
+        budget=args.budget,
+        seed=args.seed,
+        epsilon=args.epsilon,
+        restarts=args.restarts,
+        baseline_trials=args.baseline_trials,
+    )
+    print(result.summary())
+    for pair in result.worst_pairs:
+        print(
+            f"  probe {pair.s}->{pair.t}: decoded {pair.decoded:g} vs "
+            f"true {pair.true:g}, fault-free {pair.baseline:g} "
+            f"(detour {pair.stretch:.4f})"
+        )
+    if args.emit:
+        with open(args.emit, "w", encoding="utf-8") as handle:
+            handle.write(serialize_trace(result.trace))
+        print(f"wrote {args.emit} ({result.trace.name})")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argparse command tree."""
     parser = argparse.ArgumentParser(
@@ -808,6 +953,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--replication", type=int, default=2)
     p_serve.add_argument("--no-hedging", action="store_true",
                          help="disable hedged reads to replicas")
+    p_serve.add_argument(
+        "--plan", default=None, metavar="PLAN.json",
+        help="replay one canonical fault-plan document (e.g. emitted by "
+             "'repro scenario run --emit-plan') instead of random schedules",
+    )
     p_serve.add_argument("-e", "--epsilon", type=float, default=1.0)
     p_serve.set_defaults(func=cmd_serve_chaos)
 
@@ -979,6 +1129,76 @@ def build_parser() -> argparse.ArgumentParser:
         help="prom = Prometheus text + summary line, json = full report",
     )
     p_traffic.set_defaults(func=cmd_traffic)
+
+    p_scenario = sub.add_parser(
+        "scenario",
+        help="declarative scenario traces: validate, replay, and attack",
+    )
+    scenario_sub = p_scenario.add_subparsers(dest="action", required=True)
+
+    p_sc_list = scenario_sub.add_parser(
+        "list", help="show the committed scenario library"
+    )
+    p_sc_list.add_argument(
+        "--dir", default=None, metavar="DIR",
+        help="scenario directory (default: the repo's scenarios/)",
+    )
+    p_sc_list.set_defaults(func=cmd_scenario_list)
+
+    p_sc_validate = scenario_sub.add_parser(
+        "validate",
+        help="parse, CRC-check, canonicality-check and compile scenario "
+        "files",
+    )
+    p_sc_validate.add_argument(
+        "files", nargs="*",
+        help="scenario files (default: every file in the library)",
+    )
+    p_sc_validate.add_argument(
+        "--dir", default=None, metavar="DIR",
+        help="library directory when no files are given",
+    )
+    p_sc_validate.set_defaults(func=cmd_scenario_validate)
+
+    p_sc_run = scenario_sub.add_parser(
+        "run", help="replay one scenario through the full serving stack"
+    )
+    p_sc_run.add_argument("file", help="the .scenario file to replay")
+    p_sc_run.add_argument(
+        "--seed", type=int, default=None,
+        help="override the trace's seed (default: as committed)",
+    )
+    p_sc_run.add_argument("-e", "--epsilon", type=float, default=1.0)
+    p_sc_run.add_argument(
+        "--format", choices=["text", "json"], default="text",
+        help="text = summary + per-window table, json = canonical report",
+    )
+    p_sc_run.add_argument(
+        "--emit-plan", default=None, metavar="PLAN.json",
+        help="also write the lowered fault plan (replayable via "
+             "'repro serve-chaos --plan')",
+    )
+    p_sc_run.set_defaults(func=cmd_scenario_run)
+
+    p_sc_search = scenario_sub.add_parser(
+        "search",
+        help="adversarial worst-F search; emit the worst trace found",
+    )
+    p_sc_search.add_argument("graph", help="graph spec, e.g. grid:8x8")
+    p_sc_search.add_argument(
+        "--objective", choices=["stretch", "degraded"], default="stretch",
+    )
+    p_sc_search.add_argument("--budget", type=int, default=3,
+                             help="fault budget |F| <= k")
+    p_sc_search.add_argument("--seed", type=int, default=0)
+    p_sc_search.add_argument("--restarts", type=int, default=1)
+    p_sc_search.add_argument("--baseline-trials", type=int, default=24)
+    p_sc_search.add_argument("-e", "--epsilon", type=float, default=1.0)
+    p_sc_search.add_argument(
+        "--emit", default=None, metavar="FILE.scenario",
+        help="write the worst trace found as a replayable scenario file",
+    )
+    p_sc_search.set_defaults(func=cmd_scenario_search)
 
     return parser
 

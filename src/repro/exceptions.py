@@ -115,3 +115,32 @@ class GatewayError(ServiceError):
     requests resolve normally with an explicit
     :class:`~repro.service.frontend.DegradationReason`.
     """
+
+
+class ScenarioError(ReproError):
+    """Raised by the declarative scenario layer (:mod:`repro.scenario`).
+
+    Parse failures carry the 1-based ``line`` (and, when known, the
+    ``field``) of the offending trace text, so a broken scenario file
+    points at itself instead of at the replay machinery.  Semantic
+    problems found while compiling a trace against a concrete graph
+    (a ball center outside the vertex range, a rollout edge the graph
+    does not have) raise the same type without a line.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        line: int | None = None,
+        field: str | None = None,
+    ) -> None:
+        prefix = ""
+        if line is not None:
+            prefix = f"line {line}: "
+            if field is not None:
+                prefix = f"line {line}: field {field!r}: "
+        elif field is not None:
+            prefix = f"field {field!r}: "
+        super().__init__(prefix + message)
+        self.line = line
+        self.field = field

@@ -60,6 +60,35 @@ class TenantProfile:
     max_faults: int = 3
     deadline_ms: float | None = None
 
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise QueryError("tenant needs a non-empty name")
+        if self.weight <= 0:
+            raise QueryError(
+                f"tenant {self.name!r}: weight must be positive, "
+                f"got {self.weight}"
+            )
+        if self.num_users < 1:
+            raise QueryError(
+                f"tenant {self.name!r}: needs at least one user, "
+                f"got {self.num_users}"
+            )
+        if not 0.0 <= self.fault_rate <= 1.0:
+            raise QueryError(
+                f"tenant {self.name!r}: fault_rate must be in [0, 1], "
+                f"got {self.fault_rate}"
+            )
+        if self.max_faults < 1:
+            raise QueryError(
+                f"tenant {self.name!r}: max_faults must be >= 1, "
+                f"got {self.max_faults}"
+            )
+        if self.deadline_ms is not None and self.deadline_ms <= 0:
+            raise QueryError(
+                f"tenant {self.name!r}: deadline_ms must be positive, "
+                f"got {self.deadline_ms}"
+            )
+
 
 @dataclass(frozen=True)
 class TrafficPhase:
@@ -67,6 +96,17 @@ class TrafficPhase:
 
     duration_ms: float
     rate_multiplier: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.duration_ms <= 0:
+            raise QueryError(
+                f"phase duration must be positive, got {self.duration_ms}"
+            )
+        if self.rate_multiplier <= 0:
+            raise QueryError(
+                f"phase rate multiplier must be positive, "
+                f"got {self.rate_multiplier}"
+            )
 
 
 @dataclass(frozen=True)
@@ -77,6 +117,11 @@ class FaultBurst:
     fault draw uses ``burst_fault_rate`` and samples fault vertices
     from the BFS ball around ``center`` (``center`` picked by the
     generator when None), modelling a correlated regional outage.
+
+    An explicit ``vertices`` pool overrides the ball entirely — the
+    adversarial worst-``F`` scenarios pin the exact fault set they
+    found.  ``max_faults`` caps the per-request draw size (None =
+    the sampled tenant's own cap).
     """
 
     start_ms: float
@@ -84,6 +129,31 @@ class FaultBurst:
     radius: int = 2
     burst_fault_rate: float = 0.6
     center: int | None = None
+    vertices: tuple[int, ...] = ()
+    max_faults: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.start_ms < 0:
+            raise QueryError(
+                f"burst start must be >= 0, got {self.start_ms}"
+            )
+        if self.duration_ms <= 0:
+            raise QueryError(
+                f"burst duration must be positive, got {self.duration_ms}"
+            )
+        if self.radius < 0:
+            raise QueryError(f"burst radius must be >= 0, got {self.radius}")
+        if not 0.0 <= self.burst_fault_rate <= 1.0:
+            raise QueryError(
+                f"burst fault rate must be in [0, 1], "
+                f"got {self.burst_fault_rate}"
+            )
+        if self.max_faults is not None and self.max_faults < 1:
+            raise QueryError(
+                f"burst max_faults must be >= 1, got {self.max_faults}"
+            )
+        if len(set(self.vertices)) != len(self.vertices):
+            raise QueryError("burst vertices must be distinct")
 
 
 @dataclass(frozen=True)
@@ -96,6 +166,18 @@ class TrafficConfig:
     tenants: tuple[TenantProfile, ...] = (TenantProfile("default"),)
     phases: tuple[TrafficPhase, ...] = ()
     bursts: tuple[FaultBurst, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.tenants:
+            raise QueryError("traffic needs at least one tenant profile")
+        if self.base_rate_per_ms <= 0:
+            raise QueryError(
+                f"base rate must be positive, got {self.base_rate_per_ms}"
+            )
+        if self.zipf_exponent < 0:
+            raise QueryError(
+                f"Zipf exponent must be >= 0, got {self.zipf_exponent}"
+            )
 
 
 class ZipfSampler:
@@ -176,16 +258,27 @@ class TrafficGenerator:
             total += w
             self._tenant_cdf.append(total)
         self._tenant_total = total
-        # resolve burst centers up front so ball membership is fixed
+        # resolve burst pools up front so membership is fixed: an
+        # explicit vertex list wins, otherwise the BFS ball around the
+        # (possibly sampled) center
         self._balls: list[tuple[FaultBurst, list[int]]] = []
         for burst in config.bursts:
-            center = (
-                burst.center if burst.center is not None
-                else self.zipf.sample(self._rng)
-            )
-            ball = sorted(
-                bfs_distances(graph, center, radius=burst.radius)
-            )
+            if burst.vertices:
+                for v in burst.vertices:
+                    if not 0 <= v < graph.num_vertices:
+                        raise QueryError(
+                            f"burst vertex {v} outside the graph's range "
+                            f"[0, {graph.num_vertices})"
+                        )
+                ball = sorted(burst.vertices)
+            else:
+                center = (
+                    burst.center if burst.center is not None
+                    else self.zipf.sample(self._rng)
+                )
+                ball = sorted(
+                    bfs_distances(graph, center, radius=burst.radius)
+                )
             self._balls.append((burst, ball))
 
     # -- sampling helpers ---------------------------------------------------
@@ -223,9 +316,11 @@ class TrafficGenerator:
             if self._rng.random() < burst.burst_fault_rate:
                 pool = [v for v in ball if v != s and v != t]
                 if pool:
-                    count = min(
-                        1 + self._rng.randrange(tenant.max_faults), len(pool)
+                    cap = (
+                        burst.max_faults if burst.max_faults is not None
+                        else tenant.max_faults
                     )
+                    count = min(1 + self._rng.randrange(cap), len(pool))
                     return tuple(self._rng.sample(pool, count))
             return ()
         if self._rng.random() >= tenant.fault_rate:

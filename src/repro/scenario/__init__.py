@@ -1,0 +1,75 @@
+"""Declarative scenario traces: parse, compile, replay, and attack.
+
+The robustness subsystem's top layer.  A *scenario trace* is a
+versioned, CRC-checked text file of timestamped events over virtual
+time — regional ball outages ``B(v, r)``, rolling maintenance, flash
+crowds, shard crashes, label rollouts, injected probe queries.
+:mod:`repro.scenario.trace` parses and canonically serializes the
+format; :mod:`repro.scenario.compile` lowers a trace onto the
+traffic/chaos machinery; :mod:`repro.scenario.runner` replays it
+through the full serving stack and judges every outcome against BFS
+ground truth; :mod:`repro.scenario.search` hunts for the adversarial
+worst fault set and emits it back as a replayable trace; and
+:mod:`repro.scenario.library` loads the committed ``scenarios/``
+regression library.
+"""
+
+from repro.scenario.compile import (
+    CompiledScenario,
+    OutageWindow,
+    TimedAction,
+    TimedProbe,
+    compile_trace,
+)
+from repro.scenario.library import (
+    catalogue,
+    library_dir,
+    load_scenario,
+    scenario_paths,
+)
+from repro.scenario.runner import (
+    ScenarioReport,
+    ScenarioRunner,
+    WindowRow,
+    run_scenario_file,
+    run_trace,
+)
+from repro.scenario.search import SearchResult, WorstPair, worst_f_search
+from repro.scenario.trace import (
+    EVENT_KINDS,
+    SCHEMA_VERSION,
+    ScenarioEvent,
+    ScenarioTrace,
+    TraceTenant,
+    parse_trace,
+    serialize_trace,
+    trace_crc,
+)
+
+__all__ = [
+    "EVENT_KINDS",
+    "SCHEMA_VERSION",
+    "CompiledScenario",
+    "OutageWindow",
+    "ScenarioEvent",
+    "ScenarioReport",
+    "ScenarioRunner",
+    "ScenarioTrace",
+    "SearchResult",
+    "TimedAction",
+    "TimedProbe",
+    "TraceTenant",
+    "WindowRow",
+    "WorstPair",
+    "catalogue",
+    "compile_trace",
+    "library_dir",
+    "load_scenario",
+    "parse_trace",
+    "run_scenario_file",
+    "run_trace",
+    "scenario_paths",
+    "serialize_trace",
+    "trace_crc",
+    "worst_f_search",
+]

@@ -1,0 +1,378 @@
+"""Lowering scenario traces onto the traffic/chaos/service machinery.
+
+:func:`compile_trace` turns a parsed :class:`ScenarioTrace` into a
+:class:`CompiledScenario` — everything the runner replays:
+
+* ``flash_crowd`` events become a :class:`TrafficPhase` tiling of
+  exactly ``[0, duration)`` (the phase cycle *is* the scenario
+  duration, so absolute windows survive the generator's modulo);
+* ``ball_outage`` / ``outage`` events become :class:`FaultBurst`
+  windows — the ball variant resolves ``B(center, radius)`` inside
+  the generator, the explicit variant pins the adversarial vertex
+  pool verbatim;
+* ``maintenance`` unrolls into a rolling ``shard_down`` /
+  ``shard_recover`` pair per shard, one window after another;
+* shard and rollout primitives become timestamped
+  :class:`~repro.chaos.plan.ChaosEvent` actions;
+* ``probe`` events become timestamped :class:`GatewayRequest`\\ s under
+  the reserved ``probe`` tenant.
+
+Compilation is also where every *graph-dependent* check happens
+(vertex ranges, edges that must exist, shard ids inside the layout,
+flash-crowd overlap), so a trace that compiles replays without
+surprises.  :meth:`CompiledScenario.fault_plan` additionally lowers
+the schedule to a :class:`~repro.chaos.plan.FaultPlan` — the shared
+on-disk representation ``repro serve-chaos --plan`` replays.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.chaos.plan import ChaosEvent, FaultPlan
+from repro.exceptions import ScenarioError
+from repro.gateway.gateway import GatewayRequest
+from repro.gateway.traffic import (
+    FaultBurst,
+    TenantProfile,
+    TrafficConfig,
+    TrafficPhase,
+)
+from repro.graphs.graph import Graph
+from repro.graphs.traversal import bfs_distances
+from repro.scenario.trace import OUTAGE_KINDS, ScenarioEvent, ScenarioTrace
+from repro.util.rng import make_rng
+
+#: tenant name reserved for injected probe requests
+PROBE_TENANT = "probe"
+
+#: sampled judged queries per outage window in the lowered fault plan
+_PLAN_QUERIES_PER_WINDOW = 4
+
+
+@dataclass(frozen=True)
+class TimedAction:
+    """One serving-tier chaos event pinned to a virtual-time instant."""
+
+    at_ms: float
+    event: ChaosEvent
+
+
+@dataclass(frozen=True)
+class TimedProbe:
+    """One injected deterministic query pinned to a virtual-time instant."""
+
+    at_ms: float
+    request: GatewayRequest
+
+
+@dataclass(frozen=True)
+class OutageWindow:
+    """One resolved fault window (for reporting and worst-F replay)."""
+
+    start_ms: float
+    end_ms: float
+    kind: str
+    vertices: tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class CompiledScenario:
+    """A trace lowered onto the concrete machinery, ready to replay."""
+
+    trace: ScenarioTrace
+    graph: Graph
+    traffic: TrafficConfig
+    actions: tuple[TimedAction, ...]
+    probes: tuple[TimedProbe, ...]
+    outages: tuple[OutageWindow, ...]
+
+    def fault_plan(self) -> FaultPlan:
+        """The schedule as a serving-tier :class:`FaultPlan`.
+
+        The shared representation: shard and rollout actions keep
+        their relative timing via ``advance`` gaps, probes become
+        judged ``query`` events, and every outage window contributes
+        a few seeded in-ball queries so ``repro serve-chaos --plan``
+        genuinely exercises the window.  Deterministic in the trace
+        seed.
+        """
+        rows: list[tuple[float, int, ChaosEvent]] = []
+        order = 0
+        for action in self.actions:
+            rows.append((action.at_ms, order, action.event))
+            order += 1
+        for probe in self.probes:
+            request = probe.request
+            rows.append((
+                probe.at_ms,
+                order,
+                ChaosEvent(
+                    kind="query",
+                    s=request.s,
+                    t=request.t,
+                    faults=tuple(request.vertex_faults),
+                    fault_edges=tuple(request.edge_faults),
+                ),
+            ))
+            order += 1
+        rng = make_rng(self.trace.seed)
+        n = self.graph.num_vertices
+        for window in self.outages:
+            span = window.end_ms - window.start_ms
+            for step in range(_PLAN_QUERIES_PER_WINDOW):
+                at = window.start_ms + span * (step + 1) / (
+                    _PLAN_QUERIES_PER_WINDOW + 1
+                )
+                pool = list(window.vertices)
+                count = min(len(pool), 1 + rng.randrange(3))
+                faults = tuple(sorted(rng.sample(pool, count)))
+                outside = [v for v in range(n) if v not in set(faults)]
+                s, t = rng.sample(outside, 2)
+                rows.append((
+                    at,
+                    order,
+                    ChaosEvent(kind="query", s=s, t=t, faults=faults),
+                ))
+                order += 1
+        plan = FaultPlan(seed=self.trace.seed, name=self.trace.name)
+        cursor = 0.0
+        for at, _, event in sorted(rows, key=lambda row: (row[0], row[1])):
+            if at > cursor:
+                plan.advance(at - cursor)
+                cursor = at
+            plan.events.append(event)
+        return plan
+
+
+def build_graph(spec: str) -> Graph:
+    """Build the trace's graph, converting CLI errors to ScenarioError."""
+    from repro.cli import parse_graph_spec
+
+    try:
+        return parse_graph_spec(spec)
+    except SystemExit as exc:
+        raise ScenarioError(str(exc), field="graph") from exc
+
+
+def _check_vertex(
+    graph: Graph, value: int, index: int, event: ScenarioEvent, fld: str
+) -> None:
+    if not 0 <= value < graph.num_vertices:
+        raise ScenarioError(
+            f"event {index} ({event.kind}): vertex {value} outside the "
+            f"graph's range [0, {graph.num_vertices})",
+            field=fld,
+        )
+
+
+def _check_event(
+    graph: Graph, trace: ScenarioTrace, index: int, event: ScenarioEvent
+) -> None:
+    kind = event.kind
+    if kind == "ball_outage":
+        _check_vertex(graph, event.center, index, event, "center")
+    if kind == "outage":
+        for vertex in event.vertices:
+            _check_vertex(graph, vertex, index, event, "vertices")
+    if kind == "probe":
+        _check_vertex(graph, event.s, index, event, "s")
+        _check_vertex(graph, event.t, index, event, "t")
+        for vertex in event.faults:
+            _check_vertex(graph, vertex, index, event, "faults")
+        for a, b in event.edge_faults:
+            _check_vertex(graph, a, index, event, "edge_faults")
+            _check_vertex(graph, b, index, event, "edge_faults")
+    if kind == "maintenance":
+        for shard in event.shards:
+            if shard >= trace.num_shards:
+                raise ScenarioError(
+                    f"event {index} (maintenance): shard {shard} outside "
+                    f"the layout's {trace.num_shards} shards",
+                    field="shards",
+                )
+    if event.shard is not None and event.shard >= trace.num_shards:
+        raise ScenarioError(
+            f"event {index} ({kind}): shard {event.shard} outside the "
+            f"layout's {trace.num_shards} shards",
+            field="shard",
+        )
+    if kind == "rollout_begin":
+        a, b = event.edge
+        _check_vertex(graph, a, index, event, "edge")
+        _check_vertex(graph, b, index, event, "edge")
+        if not graph.has_edge(min(a, b), max(a, b)):
+            raise ScenarioError(
+                f"event {index} (rollout_begin): edge {a}-{b} is not in "
+                f"the graph",
+                field="edge",
+            )
+
+
+def _phases(trace: ScenarioTrace) -> tuple[TrafficPhase, ...]:
+    """Tile ``[0, duration)`` with the flash-crowd rate overrides."""
+    crowds = [e for e in trace.events if e.kind == "flash_crowd"]
+    if not crowds:
+        return ()
+    phases: list[TrafficPhase] = []
+    cursor = 0.0
+    for index, crowd in enumerate(crowds):
+        if crowd.at_ms < cursor:
+            raise ScenarioError(
+                f"flash_crowd at t={crowd.at_ms:g} overlaps the previous "
+                f"flash_crowd window (which runs to t={cursor:g}) — "
+                "rate overrides must not overlap",
+                field="multiplier",
+            )
+        if crowd.at_ms > cursor:
+            phases.append(TrafficPhase(duration_ms=crowd.at_ms - cursor))
+        end = min(crowd.end_ms(), trace.duration_ms)
+        phases.append(
+            TrafficPhase(
+                duration_ms=end - crowd.at_ms,
+                rate_multiplier=crowd.multiplier,
+            )
+        )
+        cursor = end
+    if cursor < trace.duration_ms:
+        phases.append(TrafficPhase(duration_ms=trace.duration_ms - cursor))
+    return tuple(phases)
+
+
+def _bursts_and_windows(
+    graph: Graph, trace: ScenarioTrace
+) -> tuple[tuple[FaultBurst, ...], tuple[OutageWindow, ...]]:
+    bursts: list[FaultBurst] = []
+    windows: list[OutageWindow] = []
+    for event in trace.events:
+        if event.kind not in OUTAGE_KINDS:
+            continue
+        end = min(event.end_ms(), trace.duration_ms)
+        if event.kind == "ball_outage":
+            vertices = tuple(sorted(
+                bfs_distances(graph, event.center, radius=event.radius)
+            ))
+            burst = FaultBurst(
+                start_ms=event.at_ms,
+                duration_ms=event.duration_ms,
+                radius=event.radius,
+                burst_fault_rate=event.fault_rate,
+                center=event.center,
+                max_faults=event.max_faults,
+            )
+        else:
+            vertices = tuple(sorted(event.vertices))
+            burst = FaultBurst(
+                start_ms=event.at_ms,
+                duration_ms=event.duration_ms,
+                radius=0,
+                burst_fault_rate=event.fault_rate,
+                vertices=vertices,
+                max_faults=event.max_faults,
+            )
+        bursts.append(burst)
+        windows.append(
+            OutageWindow(
+                start_ms=event.at_ms,
+                end_ms=end,
+                kind=event.kind,
+                vertices=vertices,
+            )
+        )
+    return tuple(bursts), tuple(windows)
+
+
+def _actions(trace: ScenarioTrace) -> tuple[TimedAction, ...]:
+    actions: list[TimedAction] = []
+    for event in trace.events:
+        kind = event.kind
+        if kind == "maintenance":
+            for step, shard in enumerate(event.shards):
+                start = event.at_ms + step * event.window_ms
+                actions.append(TimedAction(
+                    start, ChaosEvent(kind="shard_down", shard=shard)
+                ))
+                actions.append(TimedAction(
+                    start + event.window_ms,
+                    ChaosEvent(kind="shard_recover", shard=shard),
+                ))
+        elif kind.startswith("shard_"):
+            actions.append(TimedAction(
+                event.at_ms, ChaosEvent(kind=kind, shard=event.shard)
+            ))
+        elif kind == "rollout_begin":
+            a, b = event.edge
+            actions.append(TimedAction(
+                event.at_ms,
+                ChaosEvent(kind=kind, edge=(min(a, b), max(a, b))),
+            ))
+        elif kind in ("rollout_commit", "rollout_abort"):
+            actions.append(TimedAction(event.at_ms, ChaosEvent(kind=kind)))
+    return tuple(sorted(actions, key=lambda a: a.at_ms))
+
+
+def _probes(trace: ScenarioTrace) -> tuple[TimedProbe, ...]:
+    probes: list[TimedProbe] = []
+    for event in trace.events:
+        if event.kind != "probe":
+            continue
+        probes.append(TimedProbe(
+            at_ms=event.at_ms,
+            request=GatewayRequest(
+                tenant=PROBE_TENANT,
+                s=event.s,
+                t=event.t,
+                vertex_faults=tuple(event.faults),
+                edge_faults=tuple(
+                    (min(a, b), max(a, b)) for a, b in event.edge_faults
+                ),
+            ),
+        ))
+    return tuple(probes)
+
+
+def compile_trace(
+    trace: ScenarioTrace, graph: Graph | None = None
+) -> CompiledScenario:
+    """Lower ``trace`` onto the concrete machinery (full validation).
+
+    ``graph`` short-circuits the spec lookup when the caller already
+    built one (the worst-F search compiles hundreds of candidate
+    traces over a single graph).
+    """
+    if graph is None:
+        graph = build_graph(trace.graph_spec)
+    for index, event in enumerate(trace.events):
+        _check_event(graph, trace, index, event)
+    for tenant in trace.tenants:
+        if tenant.name == PROBE_TENANT:
+            raise ScenarioError(
+                f"tenant name {PROBE_TENANT!r} is reserved for injected "
+                "probe requests"
+            )
+    bursts, windows = _bursts_and_windows(graph, trace)
+    traffic = TrafficConfig(
+        base_rate_per_ms=trace.base_rate_per_ms,
+        zipf_exponent=trace.zipf_exponent,
+        tenants=tuple(
+            TenantProfile(
+                name=tenant.name,
+                weight=tenant.weight,
+                num_users=tenant.num_users,
+                fault_rate=tenant.fault_rate,
+                max_faults=tenant.max_faults,
+                deadline_ms=tenant.deadline_ms,
+            )
+            for tenant in trace.tenants
+        ),
+        phases=_phases(trace),
+        bursts=bursts,
+    )
+    return CompiledScenario(
+        trace=trace,
+        graph=graph,
+        traffic=traffic,
+        actions=_actions(trace),
+        probes=_probes(trace),
+        outages=windows,
+    )

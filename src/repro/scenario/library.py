@@ -1,0 +1,58 @@
+"""The versioned scenario library: discovery and loading of ``scenarios/``.
+
+The repository ships a curated set of ``.scenario`` files — the
+regression scenarios CI replays on every change (regional ball
+outage, cascading double-ball, rolling maintenance, flash crowd
+during an outage, crash storm mid-rollout, and the committed output
+of the adversarial worst-``F`` search).  This module finds and loads
+them; every file is CRC-checked by the parser on load, so a
+hand-edited scenario that was not re-serialized fails loudly.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.exceptions import ScenarioError
+from repro.scenario.trace import ScenarioTrace, parse_trace
+
+#: filename suffix every library scenario uses
+SUFFIX = ".scenario"
+
+
+def library_dir() -> Path:
+    """The repository's ``scenarios/`` directory."""
+    return Path(__file__).resolve().parents[3] / "scenarios"
+
+
+def scenario_paths(directory: str | Path | None = None) -> tuple[Path, ...]:
+    """Every ``.scenario`` file in the library, sorted by name."""
+    root = Path(directory) if directory is not None else library_dir()
+    if not root.is_dir():
+        return ()
+    return tuple(sorted(root.glob(f"*{SUFFIX}")))
+
+
+def load_scenario(path: str | Path) -> ScenarioTrace:
+    """Parse (and CRC-verify) one scenario file."""
+    try:
+        text = Path(path).read_text(encoding="utf-8")
+    except OSError as exc:
+        raise ScenarioError(
+            f"cannot read scenario file {str(path)!r}: {exc}"
+        ) from exc
+    try:
+        return parse_trace(text)
+    except ScenarioError as exc:
+        raise ScenarioError(f"{path}: {exc}") from exc
+
+
+def catalogue(
+    directory: str | Path | None = None,
+) -> tuple[tuple[str, Path, ScenarioTrace], ...]:
+    """Every library scenario as ``(name, path, parsed trace)`` rows."""
+    rows = []
+    for path in scenario_paths(directory):
+        trace = load_scenario(path)
+        rows.append((trace.name, path, trace))
+    return tuple(rows)

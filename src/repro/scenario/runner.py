@@ -1,0 +1,611 @@
+"""Replay a compiled scenario through the full serving stack.
+
+:class:`ScenarioRunner` is the scenario engine's answer to the traffic
+battery: it builds the whole stack — labels, sharded store (persisted
+through the crash-consistent durability layer on a seeded simulated
+filesystem), caching client, frontend, async gateway — on one virtual
+clock, replays the compiled trace (open-loop traffic + timestamped
+chaos actions + injected probes), and judges **every** outcome against
+BFS ground truth recomputed from the graph *of the label generation
+that answered it* (mid-rollout answers are pinned to a version; they
+are judged against that version's graph, not the latest one):
+
+* an ``exact`` answer must sit in ``[d_true, stretch × d_true]`` and
+  agree on reachability;
+* a ``degraded`` answer must carry no distance, name its missing
+  labels, and certify only a valid lower bound;
+* every non-exact outcome must carry an explicit reason, and sheds
+  must use the closed shed vocabulary;
+* every submitted request resolves to exactly one outcome.
+
+The report buckets outcomes into per-window timeseries rows
+(availability, degraded fraction, worst observed stretch per window —
+the LinkGuardian-style view of how the SLO moves *through* the
+outage), and serializes canonically: same trace + same seed ⇒
+byte-identical JSON, which the CI smoke step checks literally.
+
+Two stretch-flavoured columns, deliberately distinct:
+
+* ``worst_stretch`` — decoded vs BFS truth *under the same faults*,
+  the decoder's (1+ε) soundness guarantee (empirically pinned at 1.0);
+* ``worst_detour`` — decoded under faults vs the fault-free baseline
+  ``d_G(s, t)``, how far the outage actually moved the answers.  This
+  is the quantity the adversarial worst-``F`` search maximizes, so
+  replaying an emitted witness trace reproduces its headline number.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.durability.fs import SimulatedFS
+from repro.exceptions import ReproError, ScenarioError
+from repro.gateway.cache import CachingLabelClient, LabelCache
+from repro.gateway.gateway import AsyncGateway, GatewayConfig, GatewayOutcome
+from repro.gateway.loop import VirtualLoop
+from repro.gateway.traffic import TimedRequest, TrafficGenerator
+from repro.graphs.graph import Graph
+from repro.graphs.traversal import bfs_distances_avoiding
+from repro.labeling import ForbiddenSetLabeling
+from repro.rollout import GraphChange, IncrementalRelabeler, RolloutCoordinator
+from repro.scenario.compile import CompiledScenario, compile_trace
+from repro.scenario.trace import ScenarioTrace
+from repro.service.clock import VirtualClock
+from repro.service.frontend import SHED_REASONS, QueryService
+from repro.service.store import ShardedLabelStore
+from repro.util.rng import make_rng
+
+if TYPE_CHECKING:
+    from repro.chaos.plan import ChaosEvent
+    from repro.obs.registry import Registry
+
+_EPS = 1e-9
+
+
+@dataclass
+class WindowRow:
+    """One timeseries bucket of the report."""
+
+    start_ms: float
+    end_ms: float
+    submitted: int = 0
+    exact: int = 0
+    degraded: int = 0
+    shed: int = 0
+    worst_stretch: float = 1.0
+    worst_detour: float = 1.0
+
+    @property
+    def availability(self) -> float:
+        """Served (non-shed) fraction of the window's submissions."""
+        if not self.submitted:
+            return 1.0
+        return (self.exact + self.degraded) / self.submitted
+
+    @property
+    def degraded_fraction(self) -> float:
+        """Degraded fraction of the window's submissions."""
+        if not self.submitted:
+            return 0.0
+        return self.degraded / self.submitted
+
+    def to_dict(self) -> dict:
+        """The row as a plain deterministic dict."""
+        return {
+            "start_ms": round(self.start_ms, 6),
+            "end_ms": round(self.end_ms, 6),
+            "submitted": self.submitted,
+            "exact": self.exact,
+            "degraded": self.degraded,
+            "shed": self.shed,
+            "availability": round(self.availability, 6),
+            "degraded_fraction": round(self.degraded_fraction, 6),
+            "worst_stretch": round(self.worst_stretch, 9),
+            "worst_detour": round(self.worst_detour, 9),
+        }
+
+
+@dataclass
+class ScenarioReport:
+    """Everything one scenario replay learned, canonically serializable."""
+
+    name: str
+    seed: int
+    graph_spec: str
+    duration_ms: float
+    window_ms: float
+    submitted: int = 0
+    probes: int = 0
+    exact: int = 0
+    degraded: int = 0
+    shed: int = 0
+    shed_by_reason: dict[str, int] = field(default_factory=dict)
+    events_applied: int = 0
+    checks_performed: int = 0
+    worst_stretch: float = 1.0
+    worst_detour: float = 1.0
+    loop_steps: int = 0
+    windows: list[WindowRow] = field(default_factory=list)
+    violations: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True when every invariant held for the whole replay."""
+        return not self.violations
+
+    @property
+    def availability(self) -> float:
+        """Served (non-shed) fraction over the whole run."""
+        if not self.submitted:
+            return 1.0
+        return (self.exact + self.degraded) / self.submitted
+
+    @property
+    def degraded_fraction(self) -> float:
+        """Degraded fraction over the whole run."""
+        if not self.submitted:
+            return 0.0
+        return self.degraded / self.submitted
+
+    @property
+    def fingerprint(self) -> str:
+        """A compact determinism witness: same seed ⇒ same fingerprint."""
+        return (
+            f"scenario={self.name} seed={self.seed} "
+            f"submitted={self.submitted} exact={self.exact} "
+            f"degraded={self.degraded} shed={self.shed} "
+            f"steps={self.loop_steps} stretch={self.worst_stretch:.9f} "
+            f"detour={self.worst_detour:.9f}"
+        )
+
+    def to_dict(self) -> dict:
+        """The full report as a plain (JSON-ready, deterministic) dict."""
+        return {
+            "name": self.name,
+            "seed": self.seed,
+            "graph": self.graph_spec,
+            "duration_ms": round(self.duration_ms, 6),
+            "window_ms": round(self.window_ms, 6),
+            "submitted": self.submitted,
+            "probes": self.probes,
+            "exact": self.exact,
+            "degraded": self.degraded,
+            "shed": self.shed,
+            "shed_by_reason": dict(sorted(self.shed_by_reason.items())),
+            "availability": round(self.availability, 6),
+            "degraded_fraction": round(self.degraded_fraction, 6),
+            "events_applied": self.events_applied,
+            "checks_performed": self.checks_performed,
+            "worst_stretch": round(self.worst_stretch, 9),
+            "worst_detour": round(self.worst_detour, 9),
+            "loop_steps": self.loop_steps,
+            "windows": [row.to_dict() for row in self.windows],
+            "violations": list(self.violations),
+            "ok": self.ok,
+        }
+
+    def to_json(self) -> str:
+        """Canonical JSON: sorted keys, fixed float rounding, newline."""
+        return json.dumps(self.to_dict(), sort_keys=True, indent=2) + "\n"
+
+    def summary(self) -> str:
+        """One-line human digest."""
+        status = "OK" if self.ok else f"{len(self.violations)} VIOLATIONS"
+        return (
+            f"scenario {self.name} seed={self.seed}: {status} — "
+            f"{self.submitted} requests ({self.exact} exact, "
+            f"{self.degraded} degraded, {self.shed} shed), "
+            f"availability {self.availability:.0%}, "
+            f"worst stretch {self.worst_stretch:.3f}, "
+            f"worst detour {self.worst_detour:.3f}"
+        )
+
+
+class ScenarioRunner:
+    """Builds the stack and replays one compiled scenario end to end."""
+
+    def __init__(
+        self,
+        compiled: CompiledScenario,
+        epsilon: float = 1.0,
+        gateway_config: GatewayConfig | None = None,
+        obs: "Registry | None" = None,
+    ) -> None:
+        trace = compiled.trace
+        self.compiled = compiled
+        self.trace = trace
+        self.graph = compiled.graph
+        self.obs = obs
+        seed = trace.seed
+        self.traffic = TrafficGenerator(
+            compiled.graph, compiled.traffic, seed + 2
+        )
+        clock = VirtualClock()
+        self.loop = VirtualLoop(clock)
+        scheme = ForbiddenSetLabeling(compiled.graph, epsilon)
+        self._epsilon = epsilon
+        self._stretch_bound = scheme.stretch_bound()
+        store = ShardedLabelStore.from_scheme(
+            scheme,
+            num_shards=trace.num_shards,
+            replication=trace.replication,
+            seed=seed,
+        )
+        # shards persist through the crash-consistent durability layer,
+        # so crash/restart actions are a genuine reload-from-disk
+        store.attach_durability(
+            SimulatedFS(seed=seed + 4), f"scenario-{trace.name}"
+        )
+        client = CachingLabelClient(
+            store, clock=clock, seed=seed + 1, obs=obs, cache=LabelCache()
+        )
+        self.service = QueryService(
+            store,
+            stretch_bound=self._stretch_bound,
+            client=client,
+            obs=obs,
+            clock=clock,
+            seed=seed + 1,
+        )
+        self.gateway = AsyncGateway(
+            self.service, self.loop, gateway_config, obs=obs
+        )
+        self._event_rng = make_rng(seed + 3)
+        # label generations: committed version -> the graph its labels
+        # answer for (mid-rollout answers are judged per version)
+        self._graphs: dict[int, Graph] = {store.committed_version: self.graph}
+        self._relabeler: IncrementalRelabeler | None = None
+        self._coordinator: RolloutCoordinator | None = None
+        self._pending: tuple[int, object] | None = None
+        self._next_version = store.committed_version + 1
+        self._truth_cache: dict[tuple, float] = {}
+        self._report = ScenarioReport(
+            name=trace.name,
+            seed=trace.seed,
+            graph_spec=trace.graph_spec,
+            duration_ms=trace.duration_ms,
+            window_ms=trace.window_ms,
+        )
+
+    # -- running ------------------------------------------------------------
+
+    def run(self) -> ScenarioReport:
+        """Replay the whole trace, drain the gateway, judge everything."""
+        report = self._report
+        self._init_windows()
+        stream = self.traffic.generate(self.trace.duration_ms)
+        results: list[tuple[float, object]] = []
+
+        def _arrive(timed: TimedRequest) -> None:
+            results.append((timed.at_ms, self.gateway.submit(timed.request)))
+
+        for timed in stream:
+            self.loop.call_at(timed.at_ms, lambda timed=timed: _arrive(timed))
+        for probe in self.compiled.probes:
+            self.loop.call_at(
+                probe.at_ms,
+                lambda probe=probe: results.append(
+                    (probe.at_ms, self.gateway.submit(probe.request))
+                ),
+            )
+        for action in self.compiled.actions:
+            self.loop.call_at(
+                action.at_ms,
+                lambda action=action: self._apply(action.event),
+            )
+
+        async def _drive() -> None:
+            await self.loop.sleep_until(self.trace.duration_ms)
+            await self.gateway.drain()
+
+        self.loop.run_until_complete(self.loop.create_task(_drive()))
+        report.submitted = len(stream) + len(self.compiled.probes)
+        report.probes = len(self.compiled.probes)
+        if len(results) != report.submitted:
+            report.violations.append(
+                f"{report.submitted} requests scheduled but only "
+                f"{len(results)} arrivals fired"
+            )
+        for index, (at_ms, future) in enumerate(results):
+            self._judge(index, at_ms, future)
+        self._aggregate()
+        if self.obs is not None:
+            self._export()
+        return report
+
+    def _init_windows(self) -> None:
+        duration = self.trace.duration_ms
+        window = self.trace.window_ms
+        count = max(1, math.ceil(duration / window - _EPS))
+        self._report.windows = [
+            WindowRow(
+                start_ms=i * window,
+                end_ms=min((i + 1) * window, duration),
+            )
+            for i in range(count)
+        ]
+
+    def _window_at(self, at_ms: float) -> WindowRow:
+        rows = self._report.windows
+        index = int(at_ms // self.trace.window_ms)
+        return rows[min(index, len(rows) - 1)]
+
+    # -- chaos actions -------------------------------------------------------
+
+    def _apply(self, event: "ChaosEvent") -> None:
+        report = self._report
+        report.events_applied += 1
+        if self.obs is not None:
+            self.obs.counter(
+                "repro_scenario_events_total",
+                "Scenario actions applied to the serving tier, by kind.",
+                kind=event.kind,
+            ).inc()
+        if event.kind.startswith("rollout_"):
+            self._apply_rollout(event)
+            return
+        try:
+            self.service.store.apply_event(event, rng=self._event_rng)
+        except ReproError as exc:
+            report.violations.append(
+                f"action {event.kind} (shard {event.shard}) raised {exc!r}"
+            )
+
+    def _ensure_rollout(self) -> None:
+        if self._relabeler is None:
+            self._relabeler = IncrementalRelabeler(
+                self.graph, self._epsilon, obs=self.obs
+            )
+            self._coordinator = RolloutCoordinator(
+                self.service.store, obs=self.obs
+            )
+
+    def _apply_rollout(self, event: "ChaosEvent") -> None:
+        report = self._report
+        self._ensure_rollout()
+        try:
+            if event.kind == "rollout_begin":
+                if self._pending is not None:
+                    report.violations.append(
+                        "rollout_begin while a rollout is already staged"
+                    )
+                    return
+                plan = self._relabeler.plan(
+                    GraphChange(removed_edges=(event.edge,))
+                )
+                version = self._next_version
+                self._coordinator.stage(version, plan.encoded_labels())
+                self._pending = (version, plan)
+            elif self._pending is None:
+                report.violations.append(
+                    f"{event.kind} without a staged rollout"
+                )
+            elif event.kind == "rollout_commit":
+                version, plan = self._pending
+                self._coordinator.commit(version)
+                self._relabeler.commit(plan)
+                self._graphs[version] = plan.new_graph
+                self._pending = None
+                self._next_version = version + 1
+            else:  # rollout_abort
+                version, _ = self._pending
+                self._coordinator.abort(version)
+                self._pending = None
+                self._next_version = version + 1
+        except ReproError as exc:
+            report.violations.append(f"action {event.kind} raised {exc!r}")
+
+    # -- ground truth --------------------------------------------------------
+
+    def _true_distance(self, request, version: int) -> float:
+        faults = tuple(sorted(request.vertex_faults))
+        edge_faults = tuple(sorted(
+            (min(a, b), max(a, b)) for a, b in request.edge_faults
+        ))
+        key = (version, request.s, request.t, faults, edge_faults)
+        cached = self._truth_cache.get(key)
+        if cached is not None:
+            return cached
+        dist = bfs_distances_avoiding(
+            self._graphs[version], request.s, set(faults), set(edge_faults)
+        )
+        d_true = dist.get(request.t, math.inf)
+        self._truth_cache[key] = d_true
+        return d_true
+
+    def _baseline_distance(self, request, version: int) -> float:
+        key = (version, request.s, request.t, (), ())
+        cached = self._truth_cache.get(key)
+        if cached is not None:
+            return cached
+        dist = bfs_distances_avoiding(
+            self._graphs[version], request.s, set(), set()
+        )
+        d_base = dist.get(request.t, math.inf)
+        self._truth_cache[key] = d_base
+        return d_base
+
+    # -- judging -------------------------------------------------------------
+
+    def _judge(self, index: int, at_ms: float, future) -> None:
+        report = self._report
+        if not future.done():
+            report.violations.append(
+                f"request {index}: future never resolved — work was "
+                "silently dropped"
+            )
+            return
+        outcome: GatewayOutcome = future.result()
+        row = self._window_at(at_ms)
+        row.submitted += 1
+        report.checks_performed += 1
+        request = outcome.request
+        label = f"request {index} ({request.tenant}, {request.s}->{request.t})"
+        if outcome.status not in ("exact", "degraded", "shed"):
+            report.violations.append(
+                f"{label}: unknown status {outcome.status!r}"
+            )
+            return
+        if outcome.status != "exact" and outcome.reason is None:
+            report.violations.append(
+                f"{label}: non-exact outcome without an explicit reason"
+            )
+            return
+        if outcome.shed:
+            row.shed += 1
+            if outcome.reason not in SHED_REASONS:
+                report.violations.append(
+                    f"{label}: shed with non-shed reason {outcome.reason}"
+                )
+            if outcome.outcome is not None:
+                report.violations.append(
+                    f"{label}: shed outcome carries a backend answer"
+                )
+            return
+        inner = outcome.outcome
+        if inner.version not in self._graphs:
+            report.violations.append(
+                f"{label}: answered from unknown label generation "
+                f"{inner.version}"
+            )
+            return
+        d_true = self._true_distance(request, inner.version)
+        if outcome.status == "exact":
+            row.exact += 1
+            self._judge_exact(label, row, request, inner, d_true)
+        else:
+            row.degraded += 1
+            self._judge_degraded(label, inner, d_true)
+
+    def _judge_exact(
+        self, label: str, row: WindowRow, request, inner, d_true
+    ) -> None:
+        report = self._report
+        report.checks_performed += 1
+        if inner.missing:
+            report.violations.append(
+                f"{label}: exact answer with missing labels"
+            )
+            return
+        if math.isinf(d_true) != math.isinf(inner.distance):
+            report.violations.append(
+                f"{label}: exact answer {inner.distance} disagrees with "
+                f"true distance {d_true} on reachability"
+            )
+            return
+        if not math.isinf(d_true) and d_true > 0:
+            stretch = inner.distance / d_true
+            row.worst_stretch = max(row.worst_stretch, stretch)
+            report.worst_stretch = max(report.worst_stretch, stretch)
+            if inner.distance < d_true or stretch > self._stretch_bound + _EPS:
+                report.violations.append(
+                    f"{label}: exact answer {inner.distance} outside "
+                    f"[{d_true}, {self._stretch_bound:.3f}×{d_true}] — "
+                    "silently wrong"
+                )
+            if request.vertex_faults or request.edge_faults:
+                d_base = self._baseline_distance(request, inner.version)
+                if not math.isinf(d_base) and d_base > 0:
+                    detour = inner.distance / d_base
+                    row.worst_detour = max(row.worst_detour, detour)
+                    report.worst_detour = max(report.worst_detour, detour)
+
+    def _judge_degraded(self, label: str, inner, d_true) -> None:
+        report = self._report
+        report.checks_performed += 1
+        if inner.distance is not None:
+            report.violations.append(
+                f"{label}: degraded answer carries an unqualified "
+                f"distance {inner.distance}"
+            )
+            return
+        if not inner.missing:
+            report.violations.append(
+                f"{label}: degraded answer without any missing label"
+            )
+            return
+        if math.isinf(inner.lower_bound):
+            if not math.isinf(d_true):
+                report.violations.append(
+                    f"{label}: claims 'certainly unreachable' but the "
+                    f"true distance is {d_true}"
+                )
+        elif inner.lower_bound > d_true + _EPS:
+            report.violations.append(
+                f"{label}: degraded lower bound {inner.lower_bound} "
+                f"exceeds the true distance {d_true}"
+            )
+
+    # -- aggregation ---------------------------------------------------------
+
+    def _aggregate(self) -> None:
+        report = self._report
+        metrics = self.gateway.metrics
+        report.exact = metrics.exact
+        report.degraded = metrics.degraded
+        report.shed = metrics.shed
+        report.shed_by_reason = dict(sorted(metrics.shed_by_reason.items()))
+        report.loop_steps = self.loop.steps
+
+    def _export(self) -> None:
+        obs = self.obs
+        obs.gauge(
+            "repro_scenario_availability",
+            "Served (non-shed) fraction of the last scenario replay.",
+        ).set(self._report.availability)
+        obs.gauge(
+            "repro_scenario_degraded_fraction",
+            "Degraded fraction of the last scenario replay.",
+        ).set(self._report.degraded_fraction)
+        obs.gauge(
+            "repro_scenario_worst_stretch",
+            "Worst observed exact-answer stretch of the last replay.",
+        ).set(self._report.worst_stretch)
+        obs.gauge(
+            "repro_scenario_worst_detour",
+            "Worst decoded-vs-fault-free detour of the last replay.",
+        ).set(self._report.worst_detour)
+        obs.counter(
+            "repro_scenario_violations_total",
+            "Invariant violations found by scenario replays.",
+        ).inc(len(self._report.violations))
+
+
+def run_trace(
+    trace: ScenarioTrace,
+    graph: Graph | None = None,
+    epsilon: float = 1.0,
+    gateway_config: GatewayConfig | None = None,
+    obs: "Registry | None" = None,
+) -> ScenarioReport:
+    """Compile and replay ``trace`` in one call."""
+    compiled = compile_trace(trace, graph=graph)
+    return ScenarioRunner(
+        compiled, epsilon=epsilon, gateway_config=gateway_config, obs=obs
+    ).run()
+
+
+def run_scenario_file(
+    path: str,
+    epsilon: float = 1.0,
+    gateway_config: GatewayConfig | None = None,
+    obs: "Registry | None" = None,
+) -> ScenarioReport:
+    """Parse, compile and replay one ``.scenario`` file."""
+    from repro.scenario.trace import parse_trace
+
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            text = handle.read()
+    except OSError as exc:
+        raise ScenarioError(f"cannot read scenario file {path!r}: {exc}") \
+            from exc
+    return run_trace(
+        parse_trace(text),
+        epsilon=epsilon,
+        gateway_config=gateway_config,
+        obs=obs,
+    )

@@ -232,3 +232,65 @@ class TestTrafficCommand:
         payload = json.loads(one)
         assert payload["ok"] is True
         assert payload["submitted"] > 0
+
+
+class TestScenarioCommands:
+    def test_list_names_every_library_scenario(self, capsys):
+        assert main(["scenario", "list"]) == 0
+        out = capsys.readouterr().out
+        assert "regional-ball-outage" in out
+        assert "adversarial-found" in out
+
+    def test_validate_library_is_clean(self, capsys):
+        assert main(["scenario", "validate"]) == 0
+        out = capsys.readouterr().out
+        assert "FAIL" not in out
+        assert out.count("OK ") >= 6
+
+    def test_validate_corrupted_file_fails(self, tmp_path, capsys):
+        from repro.scenario import scenario_paths
+
+        good = scenario_paths()[0].read_text(encoding="utf-8")
+        bad_path = tmp_path / "bad.scenario"
+        bad_path.write_text(good.replace("crc ", "crc 0"), encoding="utf-8")
+        assert main(["scenario", "validate", str(bad_path)]) == 1
+        out = capsys.readouterr().out
+        assert "FAIL" in out
+
+    def test_run_text_report(self, capsys):
+        from repro.scenario import scenario_paths
+
+        path = next(
+            p for p in scenario_paths() if p.stem == "rolling-maintenance"
+        )
+        assert main(["scenario", "run", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "availability" in out
+        assert "detour" in out
+
+    def test_run_json_is_deterministic(self, capsys):
+        import json
+
+        from repro.scenario import scenario_paths
+
+        path = next(
+            p for p in scenario_paths() if p.stem == "rolling-maintenance"
+        )
+        argv = ["scenario", "run", str(path), "--format", "json"]
+        assert main(argv) == 0
+        one = capsys.readouterr().out
+        assert main(argv) == 0
+        two = capsys.readouterr().out
+        assert one == two
+        payload = json.loads(one)
+        assert payload["ok"] is True
+
+    def test_search_emits_a_replayable_trace(self, tmp_path, capsys):
+        emitted = str(tmp_path / "found.scenario")
+        argv = ["scenario", "search", "grid:6x6", "--budget", "2",
+                "--seed", "5", "--emit", emitted]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "detour" in out
+        assert main(["scenario", "validate", emitted]) == 0
+        assert main(["scenario", "run", emitted]) == 0

@@ -356,6 +356,13 @@ def test_repo_tree_deep_lints_clean():
     assert {f.rule for f in result.findings} <= {"RPL013"}
 
 
+def test_scenario_package_deep_lints_clean():
+    result = deep_lint_paths([ROOT / "src" / "repro" / "scenario"])
+    assert result.ok, "\n".join(f.render() for f in result.findings)
+    assert result.files_scanned >= 5
+    assert {f.rule for f in result.findings} <= {"RPL013"}
+
+
 # -- CLI ---------------------------------------------------------------------
 
 

@@ -204,6 +204,12 @@ def test_repo_tree_lints_clean():
     assert result.files_scanned > 50
 
 
+def test_scenario_package_is_in_scope_and_clean():
+    result = lint_paths([ROOT / "src" / "repro" / "scenario"])
+    assert result.ok, render_text(result)
+    assert result.files_scanned >= 5  # trace, compile, runner, search, init
+
+
 # -- CLI ---------------------------------------------------------------------
 
 

@@ -1,0 +1,336 @@
+"""Tests for the scenario-trace format: parse, validate, serialize."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ScenarioError
+from repro.scenario import (
+    EVENT_KINDS,
+    SCHEMA_VERSION,
+    ScenarioEvent,
+    ScenarioTrace,
+    TraceTenant,
+    parse_trace,
+    serialize_trace,
+    trace_crc,
+)
+from repro.service.frontend import SHED_REASONS, DegradationReason
+
+
+def rich_trace() -> ScenarioTrace:
+    return ScenarioTrace(
+        name="rich",
+        graph_spec="grid:6x6",
+        duration_ms=500.0,
+        seed=11,
+        base_rate_per_ms=0.25,
+        window_ms=100.0,
+        num_shards=4,
+        replication=2,
+        tenants=(
+            TraceTenant("default", weight=2.0),
+            TraceTenant("batch", fault_rate=0.5, deadline_ms=40.0),
+        ),
+        events=(
+            ScenarioEvent(at_ms=50.0, kind="ball_outage", center=14,
+                          radius=1, duration_ms=100.0),
+            ScenarioEvent(at_ms=60.0, kind="probe", s=0, t=35,
+                          faults=(14, 15), edge_faults=((0, 1),)),
+            ScenarioEvent(at_ms=80.0, kind="flash_crowd", multiplier=2.5,
+                          duration_ms=60.0),
+            ScenarioEvent(at_ms=150.0, kind="maintenance", shards=(0, 1),
+                          window_ms=40.0),
+            ScenarioEvent(at_ms=250.0, kind="rollout_begin", edge=(0, 1)),
+            ScenarioEvent(at_ms=300.0, kind="shard_crash", shard=2),
+            ScenarioEvent(at_ms=340.0, kind="shard_restart", shard=2),
+            ScenarioEvent(at_ms=400.0, kind="rollout_commit"),
+            ScenarioEvent(at_ms=450.0, kind="outage", vertices=(3, 4),
+                          duration_ms=30.0, fault_rate=0.5, max_faults=2),
+        ),
+    )
+
+
+class TestRoundTrip:
+    def test_parse_serialize_parse_is_identity(self):
+        trace = rich_trace()
+        text = serialize_trace(trace)
+        parsed = parse_trace(text)
+        assert parsed == trace
+        assert serialize_trace(parsed) == text
+
+    def test_comments_and_blank_lines_do_not_invalidate_crc(self):
+        text = serialize_trace(rich_trace())
+        lines = text.splitlines()
+        noisy = "\n".join(
+            ["# a comment", lines[0], "", "  # indented comment"]
+            + lines[1:]
+        ) + "\n"
+        assert parse_trace(noisy) == rich_trace()
+
+    def test_crc_is_content_addressed(self):
+        trace = rich_trace()
+        assert trace_crc(trace) == trace_crc(rich_trace())
+        assert trace_crc(trace) != trace_crc(trace.with_seed(12))
+
+    def test_with_seed_changes_only_the_seed(self):
+        reseeded = rich_trace().with_seed(99)
+        assert reseeded.seed == 99
+        assert reseeded.events == rich_trace().events
+
+    def test_defaults_resolve_canonically(self):
+        bare = ScenarioTrace(name="bare", graph_spec="path:4",
+                             duration_ms=80.0)
+        assert bare.window_ms == 10.0
+        assert bare.tenants == (TraceTenant("default"),)
+        assert parse_trace(serialize_trace(bare)) == bare
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.data())
+def test_property_round_trip_is_byte_identical(data):
+    n_events = data.draw(st.integers(0, 5))
+    at = 0.0
+    events = []
+    for _ in range(n_events):
+        at += data.draw(st.floats(0.5, 50.0, allow_nan=False))
+        kind = data.draw(st.sampled_from(
+            ["ball_outage", "outage", "flash_crowd", "shard_down",
+             "probe", "maintenance"]
+        ))
+        if kind == "ball_outage":
+            events.append(ScenarioEvent(
+                at_ms=at, kind=kind, center=data.draw(st.integers(0, 30)),
+                radius=data.draw(st.integers(0, 3)),
+                duration_ms=data.draw(st.floats(1.0, 60.0)),
+            ))
+        elif kind == "outage":
+            vertices = tuple(sorted(data.draw(st.sets(
+                st.integers(0, 30), min_size=1, max_size=4
+            ))))
+            events.append(ScenarioEvent(
+                at_ms=at, kind=kind, vertices=vertices,
+                duration_ms=data.draw(st.floats(1.0, 60.0)),
+            ))
+        elif kind == "flash_crowd":
+            events.append(ScenarioEvent(
+                at_ms=at, kind=kind,
+                multiplier=data.draw(st.floats(0.1, 5.0)),
+                duration_ms=data.draw(st.floats(1.0, 60.0)),
+            ))
+        elif kind == "shard_down":
+            events.append(ScenarioEvent(
+                at_ms=at, kind=kind, shard=data.draw(st.integers(0, 3)),
+            ))
+        elif kind == "maintenance":
+            shards = tuple(sorted(data.draw(st.sets(
+                st.integers(0, 3), min_size=1, max_size=3
+            ))))
+            events.append(ScenarioEvent(
+                at_ms=at, kind=kind, shards=shards,
+                window_ms=data.draw(st.floats(1.0, 30.0)),
+            ))
+        else:
+            s = data.draw(st.integers(0, 30))
+            t = data.draw(st.integers(0, 30).filter(lambda v: v != s))
+            events.append(ScenarioEvent(at_ms=at, kind="probe", s=s, t=t))
+    trace = ScenarioTrace(
+        name="prop",
+        graph_spec="grid:6x6",
+        duration_ms=at + data.draw(st.floats(1.0, 100.0)),
+        seed=data.draw(st.integers(0, 2**20)),
+        base_rate_per_ms=data.draw(st.floats(0.01, 2.0)),
+        events=tuple(events),
+    )
+    text = serialize_trace(trace)
+    parsed = parse_trace(text)
+    assert parsed == trace
+    # byte-identical: serializing the parse reproduces the file exactly
+    assert serialize_trace(parsed) == text
+
+
+def _expect_error(text: str, fragment: str, line: int | None = None):
+    with pytest.raises(ScenarioError) as err:
+        parse_trace(text)
+    assert fragment in str(err.value), str(err.value)
+    if line is not None:
+        assert err.value.line == line
+    return err.value
+
+
+class TestParserStrictness:
+    def test_empty_file(self):
+        _expect_error("", "empty scenario file")
+
+    def test_bad_magic(self):
+        _expect_error("not-a-scenario v1\n", "bad magic", line=1)
+
+    def test_unsupported_version(self):
+        _expect_error(
+            f"repro-scenario v{SCHEMA_VERSION + 1}\n",
+            "unsupported schema version",
+            line=1,
+        )
+
+    def test_unknown_directive(self):
+        text = "repro-scenario v1\nname x\ngraph path:4\nbogus 3\n"
+        _expect_error(text, "unknown directive 'bogus'", line=4)
+
+    def test_duplicate_directive(self):
+        text = "repro-scenario v1\nname x\nname y\n"
+        _expect_error(text, "duplicate directive 'name'", line=3)
+
+    def test_header_after_event_rejected(self):
+        text = (
+            "repro-scenario v1\nname x\ngraph path:4\nduration_ms 100\n"
+            "@10 shard_down shard=0\nseed 3\n"
+        )
+        _expect_error(text, "after the first event", line=6)
+
+    def test_unknown_event_kind(self):
+        text = (
+            "repro-scenario v1\nname x\ngraph path:4\nduration_ms 100\n"
+            "@10 meteor_strike shard=0\n"
+        )
+        _expect_error(text, "unknown event kind 'meteor_strike'", line=5)
+
+    def test_unknown_event_field_names_field(self):
+        text = (
+            "repro-scenario v1\nname x\ngraph path:4\nduration_ms 100\n"
+            "@10 shard_down shard=0 color=red\n"
+        )
+        err = _expect_error(text, "does not take field 'color'", line=5)
+        assert err.field == "color"
+
+    def test_missing_required_field(self):
+        text = (
+            "repro-scenario v1\nname x\ngraph path:4\nduration_ms 100\n"
+            "@10 ball_outage center=3\n"
+        )
+        err = _expect_error(text, "needs field 'radius'", line=5)
+        assert err.field == "radius"
+
+    def test_unparseable_value_names_line_and_field(self):
+        text = (
+            "repro-scenario v1\nname x\ngraph path:4\nduration_ms 100\n"
+            "@10 shard_down shard=two\n"
+        )
+        err = _expect_error(text, "cannot parse 'two' as int", line=5)
+        assert err.field == "shard"
+
+    def test_out_of_order_events(self):
+        text = (
+            "repro-scenario v1\nname x\ngraph path:4\nduration_ms 100\n"
+            "@50 shard_down shard=0\n@10 shard_recover shard=0\n"
+            "crc 00000000\n"
+        )
+        _expect_error(text, "out of order")
+
+    def test_event_past_duration(self):
+        text = (
+            "repro-scenario v1\nname x\ngraph path:4\nduration_ms 100\n"
+            "@150 shard_down shard=0\ncrc 00000000\n"
+        )
+        _expect_error(text, "past the scenario duration")
+
+    def test_unpaired_rollout(self):
+        text = (
+            "repro-scenario v1\nname x\ngraph path:4\nduration_ms 100\n"
+            "@10 rollout_begin edge=0-1\ncrc 00000000\n"
+        )
+        _expect_error(text, "without a matching rollout_commit")
+
+    def test_missing_crc_footer(self):
+        trace = rich_trace()
+        body = serialize_trace(trace).rsplit("crc ", 1)[0]
+        _expect_error(body, "missing crc footer")
+
+    def test_crc_mismatch_fails_loudly(self):
+        text = serialize_trace(rich_trace())
+        edited = text.replace("seed 11", "seed 12")
+        _expect_error(edited, "crc mismatch")
+
+    def test_content_after_crc_rejected(self):
+        text = serialize_trace(rich_trace()) + "@490 shard_down shard=0\n"
+        _expect_error(text, "content after the crc footer")
+
+    def test_missing_name(self):
+        text = "repro-scenario v1\ngraph path:4\nduration_ms 100\ncrc 00000000\n"
+        _expect_error(text, "missing required directive 'name'")
+
+    def test_missing_duration(self):
+        text = "repro-scenario v1\nname x\ngraph path:4\ncrc 00000000\n"
+        _expect_error(text, "missing required directive 'duration_ms'")
+
+
+class TestValidation:
+    def test_unknown_kind_rejected_at_construction(self):
+        with pytest.raises(ScenarioError, match="unknown event kind"):
+            ScenarioEvent(at_ms=0.0, kind="asteroid")
+
+    def test_event_field_mismatch(self):
+        with pytest.raises(ScenarioError, match="does not take field"):
+            ScenarioEvent(at_ms=0.0, kind="shard_down", shard=0,
+                          multiplier=2.0)
+
+    def test_probe_endpoint_in_fault_set(self):
+        with pytest.raises(ScenarioError, match="inside its own"):
+            ScenarioEvent(at_ms=0.0, kind="probe", s=1, t=2, faults=(1,))
+
+    def test_negative_duration(self):
+        with pytest.raises(ScenarioError, match="must be positive"):
+            ScenarioEvent(at_ms=0.0, kind="flash_crowd", multiplier=2.0,
+                          duration_ms=-1.0)
+
+    def test_tenant_validation(self):
+        with pytest.raises(ScenarioError, match="weight must be positive"):
+            TraceTenant("x", weight=0.0)
+        with pytest.raises(ScenarioError, match="fault_rate"):
+            TraceTenant("x", fault_rate=1.5)
+
+    def test_trace_replication_bound(self):
+        with pytest.raises(ScenarioError, match="replication"):
+            ScenarioTrace(name="x", graph_spec="path:4", duration_ms=10.0,
+                          num_shards=2, replication=3)
+
+    def test_event_kinds_frozen(self):
+        assert EVENT_KINDS == frozenset({
+            "ball_outage", "outage", "flash_crowd", "maintenance",
+            "shard_down", "shard_recover", "shard_crash", "shard_restart",
+            "rollout_begin", "rollout_commit", "rollout_abort", "probe",
+        })
+
+
+class TestDegradationReasonFrozen:
+    """Golden metrics and scenario reports embed these strings verbatim.
+
+    A rename is a silent wire-format break — this test makes it loud.
+    """
+
+    def test_values_exhaustive(self):
+        assert {member.value for member in DegradationReason} == {
+            "endpoint_unavailable",
+            "fault_labels_unavailable",
+            "shed_overload",
+            "quota_exceeded",
+            "queue_deadline",
+        }
+
+    def test_members_exhaustive(self):
+        assert {member.name for member in DegradationReason} == {
+            "ENDPOINT_UNAVAILABLE",
+            "FAULT_LABELS_UNAVAILABLE",
+            "SHED_OVERLOAD",
+            "QUOTA_EXCEEDED",
+            "QUEUE_DEADLINE",
+        }
+
+    def test_shed_reasons_cover_the_shed_members(self):
+        assert SHED_REASONS == frozenset({
+            DegradationReason.SHED_OVERLOAD,
+            DegradationReason.QUOTA_EXCEEDED,
+            DegradationReason.QUEUE_DEADLINE,
+        })
+
+    def test_str_comparison_still_works(self):
+        assert DegradationReason.SHED_OVERLOAD == "shed_overload"

@@ -1,0 +1,91 @@
+"""Tests for the adversarial worst-F search."""
+
+import pytest
+
+from repro.exceptions import ScenarioError
+from repro.scenario import (
+    parse_trace,
+    run_trace,
+    serialize_trace,
+    worst_f_search,
+)
+
+
+class TestStretchObjective:
+    def test_search_beats_the_random_baseline_on_the_grid(self):
+        # the acceptance case: adversarially placed faults force a
+        # strictly worse observed detour than uniform random plans
+        result = worst_f_search(
+            "grid:8x8", objective="stretch", budget=3, seed=0
+        )
+        assert result.faults
+        assert result.best_value > result.baseline_value
+        assert result.best_value > 1.0
+
+    def test_worst_pairs_are_decoded_observations(self):
+        result = worst_f_search(
+            "grid:8x8", objective="stretch", budget=3, seed=0
+        )
+        for pair in result.worst_pairs:
+            # soundness sandwich: the decoder never undershoots truth
+            assert pair.decoded >= pair.true
+            assert pair.stretch == pytest.approx(
+                pair.decoded / pair.baseline
+            )
+        assert result.worst_pairs[0].stretch == pytest.approx(
+            result.best_value
+        )
+
+    def test_deterministic_in_seed(self):
+        first = worst_f_search(
+            "grid:6x6", objective="stretch", budget=2, seed=5
+        )
+        second = worst_f_search(
+            "grid:6x6", objective="stretch", budget=2, seed=5
+        )
+        assert first.faults == second.faults
+        assert first.best_value == second.best_value
+        assert serialize_trace(first.trace) == serialize_trace(second.trace)
+
+    def test_emitted_trace_is_replayable_and_reproduces_the_detour(self):
+        result = worst_f_search(
+            "grid:8x8", objective="stretch", budget=3, seed=0
+        )
+        text = serialize_trace(result.trace)
+        report = run_trace(parse_trace(text))
+        assert report.ok, report.violations
+        # the replay's probes observe the detour the search promised
+        assert report.worst_detour == pytest.approx(result.best_value)
+
+
+class TestDegradedObjective:
+    def test_targeted_shard_outage_degrades_queries(self):
+        result = worst_f_search(
+            "grid:5x5", objective="degraded", budget=2, seed=1,
+            baseline_trials=6, restarts=0,
+        )
+        assert 0.0 <= result.best_value <= 1.0
+        assert result.best_value >= result.baseline_value
+
+    def test_witness_trace_pins_the_down_shards(self):
+        result = worst_f_search(
+            "grid:5x5", objective="degraded", budget=2, seed=1,
+            baseline_trials=6, restarts=0,
+        )
+        kinds = [event.kind for event in result.trace.events]
+        assert "shard_down" in kinds
+        assert result.trace.replication == 1
+
+
+class TestSearchValidation:
+    def test_unknown_objective(self):
+        with pytest.raises(ScenarioError, match="unknown search objective"):
+            worst_f_search("grid:4x4", objective="latency")
+
+    def test_bad_budget(self):
+        with pytest.raises(ScenarioError, match="budget"):
+            worst_f_search("grid:4x4", budget=0)
+
+    def test_bad_graph_spec(self):
+        with pytest.raises(ScenarioError, match="graph"):
+            worst_f_search("klein:4")

@@ -69,11 +69,10 @@ class TestTrafficValidation:
             )
 
     def test_tenant_weights_must_be_positive(self):
-        config = TrafficConfig(
-            tenants=(TenantProfile("a"), TenantProfile("b", weight=0.0))
-        )
+        # validation moved to construction time: the bad profile itself
+        # fails loudly, before any generator sees it
         with pytest.raises(QueryError):
-            TrafficGenerator(_grid(), config, seed=0)
+            TenantProfile("b", weight=0.0)
 
     def test_duration_must_be_positive(self):
         gen = TrafficGenerator(_grid(), TrafficConfig(), seed=0)
@@ -242,3 +241,78 @@ class TestOverloadMix:
         a = TrafficGenerator(graph, config, seed=0).generate(250.0)
         b = TrafficGenerator(graph, config, seed=0).generate(250.0)
         assert a == b
+
+
+class TestConstructionValidation:
+    """Bad configs fail loudly at construction, naming the bad field."""
+
+    def test_tenant_name_required(self):
+        with pytest.raises(QueryError, match="non-empty name"):
+            TenantProfile("")
+
+    def test_tenant_fault_rate_bounds(self):
+        with pytest.raises(QueryError, match="fault_rate"):
+            TenantProfile("a", fault_rate=1.5)
+        with pytest.raises(QueryError, match="fault_rate"):
+            TenantProfile("a", fault_rate=-0.1)
+
+    def test_tenant_max_faults_floor(self):
+        with pytest.raises(QueryError, match="max_faults"):
+            TenantProfile("a", max_faults=0)
+
+    def test_tenant_needs_users(self):
+        with pytest.raises(QueryError, match="at least one user"):
+            TenantProfile("a", num_users=0)
+
+    def test_tenant_deadline_must_be_positive(self):
+        with pytest.raises(QueryError, match="deadline_ms"):
+            TenantProfile("a", deadline_ms=0.0)
+
+    def test_phase_duration_must_be_positive(self):
+        with pytest.raises(QueryError, match="phase duration"):
+            TrafficPhase(duration_ms=0.0)
+
+    def test_phase_multiplier_must_be_positive(self):
+        with pytest.raises(QueryError, match="rate multiplier"):
+            TrafficPhase(duration_ms=10.0, rate_multiplier=-1.0)
+
+    def test_burst_start_and_duration(self):
+        with pytest.raises(QueryError, match="burst start"):
+            FaultBurst(start_ms=-1.0, duration_ms=10.0)
+        with pytest.raises(QueryError, match="burst duration"):
+            FaultBurst(start_ms=0.0, duration_ms=0.0)
+
+    def test_burst_rate_bounds(self):
+        with pytest.raises(QueryError, match="burst fault rate"):
+            FaultBurst(start_ms=0.0, duration_ms=10.0, burst_fault_rate=2.0)
+
+    def test_burst_radius_floor(self):
+        with pytest.raises(QueryError, match="burst radius"):
+            FaultBurst(start_ms=0.0, duration_ms=10.0, radius=-1)
+
+    def test_burst_vertices_must_be_distinct(self):
+        with pytest.raises(QueryError, match="distinct"):
+            FaultBurst(start_ms=0.0, duration_ms=10.0, vertices=(3, 3))
+
+    def test_burst_max_faults_floor(self):
+        with pytest.raises(QueryError, match="burst max_faults"):
+            FaultBurst(start_ms=0.0, duration_ms=10.0, max_faults=0)
+
+    def test_config_zipf_exponent_floor(self):
+        with pytest.raises(QueryError, match="Zipf exponent"):
+            TrafficConfig(zipf_exponent=-0.5)
+
+    def test_explicit_burst_vertices_pin_the_fault_pool(self):
+        config = TrafficConfig(
+            base_rate_per_ms=1.0,
+            tenants=(TenantProfile("a", fault_rate=1.0, max_faults=2),),
+            bursts=(FaultBurst(start_ms=0.0, duration_ms=100.0,
+                               burst_fault_rate=1.0, vertices=(3, 4, 5),
+                               max_faults=2),),
+        )
+        stream = TrafficGenerator(_grid(), config, seed=1).generate(100.0)
+        faulted = [r.request for r in stream if r.request.vertex_faults]
+        assert faulted
+        for request in faulted:
+            assert set(request.vertex_faults) <= {3, 4, 5}
+            assert len(request.vertex_faults) <= 2

@@ -1,0 +1,186 @@
+"""Regenerate the committed ``scenarios/`` library.
+
+Usage:  PYTHONPATH=src python tools/gen_scenarios.py [-o scenarios]
+
+Five families are hand-designed here; the sixth
+(``adversarial-found``) is the committed output of a real
+:func:`repro.scenario.worst_f_search` run, so the library always
+contains a search-discovered regression.  Every file is written
+through the canonical serializer (CRC footer included), and the whole
+script is deterministic: regenerating produces byte-identical files.
+"""
+
+from __future__ import annotations
+
+import argparse
+from pathlib import Path
+
+from repro.scenario import serialize_trace, worst_f_search
+from repro.scenario.trace import ScenarioEvent, ScenarioTrace, TraceTenant
+
+#: the seed every hand-designed library trace replays under
+LIBRARY_SEED = 7
+
+#: the pinned search configuration behind ``adversarial-found``
+SEARCH_SPEC = "grid:8x8"
+SEARCH_BUDGET = 3
+SEARCH_SEED = 0
+
+
+def regional_ball_outage() -> ScenarioTrace:
+    """One correlated regional outage ``B(27, 2)`` with recovery."""
+    return ScenarioTrace(
+        name="regional-ball-outage",
+        graph_spec="grid:8x8",
+        duration_ms=400.0,
+        seed=LIBRARY_SEED,
+        base_rate_per_ms=0.4,
+        window_ms=50.0,
+        events=(
+            ScenarioEvent(
+                at_ms=100.0, kind="ball_outage", center=27, radius=2,
+                duration_ms=150.0, fault_rate=0.9, max_faults=3,
+            ),
+            ScenarioEvent(at_ms=130.0, kind="probe", s=0, t=63,
+                          faults=(26, 27, 28)),
+            ScenarioEvent(at_ms=180.0, kind="probe", s=24, t=31,
+                          faults=(27, 35)),
+            ScenarioEvent(at_ms=320.0, kind="probe", s=0, t=63),
+        ),
+    )
+
+
+def cascading_double_ball() -> ScenarioTrace:
+    """Two regional outages, the second landing before the first heals."""
+    return ScenarioTrace(
+        name="cascading-double-ball",
+        graph_spec="grid:8x8",
+        duration_ms=500.0,
+        seed=LIBRARY_SEED,
+        base_rate_per_ms=0.4,
+        window_ms=50.0,
+        events=(
+            ScenarioEvent(
+                at_ms=80.0, kind="ball_outage", center=18, radius=2,
+                duration_ms=160.0,
+            ),
+            ScenarioEvent(at_ms=120.0, kind="probe", s=0, t=63,
+                          faults=(17, 18, 19)),
+            ScenarioEvent(
+                at_ms=200.0, kind="ball_outage", center=45, radius=2,
+                duration_ms=180.0,
+            ),
+            ScenarioEvent(at_ms=260.0, kind="probe", s=7, t=56,
+                          faults=(44, 45, 46)),
+        ),
+    )
+
+
+def rolling_maintenance() -> ScenarioTrace:
+    """A maintenance sweep over every shard, one window after another."""
+    return ScenarioTrace(
+        name="rolling-maintenance",
+        graph_spec="grid:6x6",
+        duration_ms=400.0,
+        seed=LIBRARY_SEED,
+        base_rate_per_ms=0.4,
+        window_ms=50.0,
+        events=(
+            ScenarioEvent(
+                at_ms=60.0, kind="maintenance", shards=(0, 1, 2, 3),
+                window_ms=60.0,
+            ),
+            ScenarioEvent(at_ms=150.0, kind="probe", s=0, t=35),
+            ScenarioEvent(at_ms=350.0, kind="probe", s=5, t=30),
+        ),
+    )
+
+
+def flash_crowd_during_outage() -> ScenarioTrace:
+    """A flash crowd arrives while a regional outage is still open."""
+    return ScenarioTrace(
+        name="flash-crowd-during-outage",
+        graph_spec="grid:8x8",
+        duration_ms=400.0,
+        seed=LIBRARY_SEED,
+        base_rate_per_ms=0.3,
+        window_ms=50.0,
+        events=(
+            ScenarioEvent(
+                at_ms=100.0, kind="ball_outage", center=36, radius=2,
+                duration_ms=180.0,
+            ),
+            ScenarioEvent(
+                at_ms=140.0, kind="flash_crowd", multiplier=3.0,
+                duration_ms=120.0,
+            ),
+            ScenarioEvent(at_ms=200.0, kind="probe", s=0, t=63,
+                          faults=(35, 36, 37)),
+        ),
+    )
+
+
+def crash_storm_mid_rollout() -> ScenarioTrace:
+    """Shards crash and restart while a label rollout is staged."""
+    return ScenarioTrace(
+        name="crash-storm-mid-rollout",
+        graph_spec="grid:6x6",
+        duration_ms=500.0,
+        seed=LIBRARY_SEED,
+        base_rate_per_ms=0.4,
+        window_ms=50.0,
+        events=(
+            ScenarioEvent(at_ms=80.0, kind="rollout_begin", edge=(0, 1)),
+            ScenarioEvent(at_ms=120.0, kind="shard_crash", shard=1),
+            ScenarioEvent(at_ms=160.0, kind="shard_restart", shard=1),
+            ScenarioEvent(at_ms=200.0, kind="shard_crash", shard=2),
+            ScenarioEvent(at_ms=240.0, kind="shard_restart", shard=2),
+            ScenarioEvent(at_ms=300.0, kind="rollout_commit"),
+            ScenarioEvent(at_ms=360.0, kind="probe", s=0, t=35),
+            ScenarioEvent(at_ms=400.0, kind="probe", s=1, t=30),
+        ),
+    )
+
+
+def adversarial_found() -> ScenarioTrace:
+    """The committed output of a real worst-``F`` search run."""
+    result = worst_f_search(
+        SEARCH_SPEC,
+        objective="stretch",
+        budget=SEARCH_BUDGET,
+        seed=SEARCH_SEED,
+    )
+    return result.trace
+
+
+def generate(out_dir: Path) -> list[Path]:
+    """Write every library scenario into ``out_dir``; return the paths."""
+    out_dir.mkdir(parents=True, exist_ok=True)
+    builders = (
+        ("regional-ball-outage", regional_ball_outage),
+        ("cascading-double-ball", cascading_double_ball),
+        ("rolling-maintenance", rolling_maintenance),
+        ("flash-crowd-during-outage", flash_crowd_during_outage),
+        ("crash-storm-mid-rollout", crash_storm_mid_rollout),
+        ("adversarial-found", adversarial_found),
+    )
+    written = []
+    for stem, builder in builders:
+        path = out_dir / f"{stem}.scenario"
+        path.write_text(serialize_trace(builder()), encoding="utf-8")
+        written.append(path)
+    return written
+
+
+def main() -> int:
+    """CLI entry point."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("-o", "--output", default="scenarios")
+    args = parser.parse_args()
+    for path in generate(Path(args.output)):
+        print(f"wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
