@@ -1,0 +1,68 @@
+"""Kernel decode speedup gate: the array kernel must stay ≥ 5x legacy.
+
+Measures the seeded ``repro bench`` workload through both decoders —
+the legacy object-graph ``decode_distance`` and the array-native
+:class:`KernelDecoder` — and **asserts the ≥ 5x smoke floor** on the
+warm (steady-state) median.  The documented headline ratio lives in
+``BENCH_10.json`` (≥ 10x, emitted by ``repro bench --mode kernel
+--emit BENCH_10.json``); the smoke floor here is deliberately half of
+that so a noisy CI host cannot flake the gate while a real regression
+(a cache broken, a hot loop deoptimized) still trips it.
+
+Every answer the kernel produces during the measurement is compared
+against legacy in-run — a speedup with wrong answers must fail.
+
+Run with::
+
+    pytest benchmarks/bench_kernel.py --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+from repro.obs.bench import measure_kernel_speedup
+
+#: CI smoke floor (the documented ratio in BENCH_10.json is ≥ 10x)
+SPEEDUP_FLOOR = 5.0
+
+
+def bench_kernel_speedup(benchmark):
+    measured = benchmark.pedantic(
+        measure_kernel_speedup,
+        kwargs={"num_queries": 120, "repeats": 3},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(
+        f"legacy {measured['legacy_ms_median']} ms, "
+        f"kernel {measured['kernel_ms_median']} ms "
+        f"(cold {measured['kernel_cold_ms']} ms), "
+        f"speedup {measured['speedup']}x, "
+        f"numpy={measured['use_numpy']}"
+    )
+    assert measured["answers_identical"], (
+        "kernel answers diverged from the legacy decoder during the "
+        "measurement — the speedup is meaningless"
+    )
+    assert measured["speedup"] >= SPEEDUP_FLOOR, (
+        f"kernel speedup {measured['speedup']}x fell below the "
+        f"{SPEEDUP_FLOOR}x smoke floor"
+    )
+
+
+def bench_kernel_stdlib_speedup(benchmark):
+    """The pure-stdlib path must clear the same floor without numpy."""
+    measured = benchmark.pedantic(
+        measure_kernel_speedup,
+        kwargs={"num_queries": 120, "repeats": 3, "use_numpy": False},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(
+        f"stdlib path: legacy {measured['legacy_ms_median']} ms, "
+        f"kernel {measured['kernel_ms_median']} ms, "
+        f"speedup {measured['speedup']}x"
+    )
+    assert measured["answers_identical"]
+    assert measured["speedup"] >= SPEEDUP_FLOOR

@@ -19,7 +19,8 @@ Subcommands::
         [--format prom|json]
     python -m repro trace labels.fsdl -s 0 -t 63 [--fail-vertex 5 ...] \
         [--format text|json]
-    python -m repro bench [--queries 120] [--repeats 5] [--emit BENCH.json]
+    python -m repro bench [--mode obs|kernel] [--queries 120] [--repeats 5] \
+        [--min-speedup R] [--emit BENCH.json]
     python -m repro traffic [--seed 0] [--duration-ms 1000] \
         [--multiplier 4.0] [--no-cache] [--no-coalescing] \
         [--format prom|json]
@@ -676,7 +677,12 @@ def cmd_trace(args: argparse.Namespace) -> int:
 
 
 def cmd_bench(args: argparse.Namespace) -> int:
-    """``repro bench``: measure the decode tracing overhead budget."""
+    """``repro bench``: tracing overhead (obs) or kernel speedup (kernel).
+
+    With ``--mode kernel``, ``--min-speedup R`` turns the run into a
+    gate: exit status 1 when the measured kernel-vs-legacy speedup
+    falls below ``R`` or any kernel answer differs from legacy.
+    """
     import json as json_module
 
     from repro.obs.bench import run_bench
@@ -687,10 +693,23 @@ def cmd_bench(args: argparse.Namespace) -> int:
         num_queries=args.queries,
         repeats=args.repeats,
         emit=args.emit,
+        mode=args.mode,
     )
     print(json_module.dumps(payload, indent=2, sort_keys=True))
     if args.emit:
         print(f"wrote {args.emit}")
+    if args.mode == "kernel":
+        deterministic = dict(payload["deterministic"])  # type: ignore[call-overload]
+        timing = dict(payload["timing"])  # type: ignore[call-overload]
+        if not deterministic["answers_identical"]:
+            print("FAIL: kernel answers differ from the legacy decoder")
+            return 1
+        if args.min_speedup is not None and timing["speedup"] < args.min_speedup:
+            print(
+                f"FAIL: speedup {timing['speedup']}x is below the"
+                f" --min-speedup {args.min_speedup}x gate"
+            )
+            return 1
     return 0
 
 
@@ -1091,15 +1110,24 @@ def build_parser() -> argparse.ArgumentParser:
     p_trace.set_defaults(func=cmd_trace)
 
     p_bench = sub.add_parser(
-        "bench", help="measure decode-pipeline instrumentation overhead"
+        "bench",
+        help="measure instrumentation overhead or kernel decode speedup",
     )
     p_bench.add_argument("--seed", type=int, default=0)
     p_bench.add_argument("-e", "--epsilon", type=float, default=1.0)
     p_bench.add_argument("--queries", type=int, default=120)
     p_bench.add_argument("--repeats", type=int, default=5)
     p_bench.add_argument(
+        "--mode", choices=["obs", "kernel"], default="obs",
+        help="obs: tracing overhead budget; kernel: kernel-vs-legacy speedup",
+    )
+    p_bench.add_argument(
+        "--min-speedup", type=float, default=None, metavar="R",
+        help="(kernel mode) exit 1 if the measured speedup is below R",
+    )
+    p_bench.add_argument(
         "--emit", default=None, metavar="PATH",
-        help="also write the payload as JSON to PATH (e.g. BENCH_5.json)",
+        help="also write the payload as JSON to PATH (e.g. BENCH_10.json)",
     )
     p_bench.set_defaults(func=cmd_bench)
 

@@ -18,11 +18,13 @@ from repro.labeling.decoder import (
     normalize_faults,
 )
 from repro.labeling.encoding import decode_label, encode_label, encoded_bit_length
+from repro.labeling.kernel import KernelDecoder
 from repro.labeling.weighted import WeightedForbiddenSetLabeling
 from repro.labeling.session import FaultScopedSession
 
 __all__ = [
     "FaultScopedSession",
+    "KernelDecoder",
     "WeightedForbiddenSetLabeling",
     "FailureFreeLabeling",
     "FaultSet",

@@ -1,0 +1,35 @@
+"""Array-native decode kernel: flat label arena, CSR sketch, array Dijkstra.
+
+The kernel answers the same forbidden-set distance queries as
+:mod:`repro.labeling.decoder` — bit-identically, tracer op counts
+included — but on flat int arrays instead of nested dicts:
+
+* :mod:`~repro.labeling.kernel.arena` interns labels once into flat
+  fragments with precomputed protected-ball bitmaps;
+* :mod:`~repro.labeling.kernel.engine` runs the per-query filter →
+  merge → CSR → Dijkstra pipeline over reusable buffers (no hot-path
+  dict/set allocation, enforced by RPL013);
+* :mod:`~repro.labeling.kernel.npops` holds the optional numpy
+  vectorizations behind the same interface;
+* :mod:`~repro.labeling.kernel.heap` is the dense indexed binary heap
+  whose tie-breaking mirrors :class:`repro.util.pqueue.IndexedMinHeap`;
+* :mod:`~repro.labeling.kernel.decoder` is the stable entry point —
+  :class:`KernelDecoder` with ``decode`` / ``decode_batch``.
+
+See ``docs/kernel.md`` for the data layout and the differential
+harness that locks the equivalence down.
+"""
+
+from repro.labeling.kernel.arena import HAVE_NUMPY, Fragment, LabelArena
+from repro.labeling.kernel.decoder import KernelDecoder
+from repro.labeling.kernel.engine import DecodeEngine
+from repro.labeling.kernel.heap import DenseMinHeap
+
+__all__ = [
+    "HAVE_NUMPY",
+    "Fragment",
+    "LabelArena",
+    "KernelDecoder",
+    "DecodeEngine",
+    "DenseMinHeap",
+]

@@ -1,0 +1,198 @@
+"""Stable API of the array-native decode kernel: :class:`KernelDecoder`.
+
+The kernel is the hot-engine half of a hot-engine-behind-a-stable-API
+split: callers keep the legacy vocabulary (``VertexLabel``,
+:class:`~repro.labeling.decoder.FaultSet`,
+:class:`~repro.labeling.decoder.QueryResult`, an optional tracer) and
+the engine swap is invisible — answers, error messages and traced op
+counts are bit-identical to :func:`repro.labeling.decoder.decode_distance`,
+a property pinned by ``tests/test_kernel_differential.py``.
+
+What changes is the cost model: labels are interned into a
+:class:`~repro.labeling.kernel.arena.LabelArena` once and every
+subsequent query over them runs on flat int arrays.
+:meth:`KernelDecoder.decode_batch` additionally shares the safe-edge
+filtering of a ``(label, F)`` pair across all queries of a batch, so
+workloads that repeat a source or a forbidden set (the oracle's
+batteries, the serving tier's bursts) pay for each combination once.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable, Sequence
+
+from repro.exceptions import QueryError
+from repro.labeling.decoder import FaultSet, QueryResult, _check_compatible
+from repro.labeling.kernel.arena import HAVE_NUMPY, LabelArena
+from repro.labeling.kernel.engine import DecodeEngine
+from repro.labeling.label import VertexLabel
+
+if TYPE_CHECKING:
+    from repro.obs.trace import Tracer
+
+#: a batch entry: ``(label_s, label_t)`` or ``(label_s, label_t, faults)``
+Query = Sequence
+
+
+class KernelDecoder:
+    """Array-native drop-in for :func:`repro.labeling.decoder.decode_distance`.
+
+    One instance owns a label arena and a reusable-buffer engine; it is
+    cheap to keep for the lifetime of a serving tier and **not**
+    thread-safe (each worker should own one).  ``use_numpy=None``
+    auto-detects numpy; forcing ``True`` without numpy raises.
+    ``max_labels`` bounds arena memory: when more distinct label
+    objects than that have been interned the arena is dropped and
+    rebuilt on demand (correctness is unaffected — only the interning
+    work is repaid).
+    """
+
+    def __init__(
+        self, use_numpy: bool | None = None, max_labels: int = 4096
+    ) -> None:
+        if use_numpy and not HAVE_NUMPY:
+            raise ValueError(
+                "numpy fast path requested but numpy is not installed"
+            )
+        self._use_numpy = HAVE_NUMPY if use_numpy is None else bool(use_numpy)
+        self._arena = LabelArena()
+        self._engine = DecodeEngine(self._arena, self._use_numpy)
+        self._max_labels = max_labels
+        # fault-set content -> dense signature, persistent so the
+        # engine's memo caches work across decode()/decode_batch() calls
+        self._fsig_map: dict[tuple, int] = {}
+
+    @property
+    def arena(self) -> LabelArena:
+        """The decoder's label arena (exposed for tests and inspection)."""
+        return self._arena
+
+    @property
+    def use_numpy(self) -> bool:
+        """Whether the numpy fast path is active."""
+        return self._use_numpy
+
+    def decode(
+        self,
+        label_s: VertexLabel,
+        label_t: VertexLabel,
+        faults: FaultSet | None = None,
+        tracer: "Tracer | None" = None,
+    ) -> QueryResult:
+        """Answer one forbidden-set distance query from labels alone.
+
+        Same contract as :func:`repro.labeling.decoder.decode_distance`:
+        identical distances, paths, sketch sizes, tracer span tree and
+        :class:`QueryError` conditions.
+        """
+        return self._decode_one(label_s, label_t, faults, tracer)
+
+    def decode_batch(
+        self,
+        queries: Iterable[Query],
+        tracer: "Tracer | None" = None,
+    ) -> list[QueryResult]:
+        """Answer many queries, amortizing shared per-``(s, F)`` work.
+
+        Each entry is ``(label_s, label_t)`` or ``(label_s, label_t,
+        faults)``.  Results (and any traced spans) are exactly what a
+        per-query :meth:`decode` loop would produce, in input order —
+        batching (like the decoder's cross-call memoization generally)
+        only shares the filtering and sketch assembly of label/fault
+        combinations that repeat, so grouping order never changes an
+        answer.  Errors propagate at the offending query, after
+        earlier queries have completed.
+        """
+        out: list[QueryResult] = []
+        for query in queries:
+            label_s = query[0]
+            label_t = query[1]
+            faults = query[2] if len(query) > 2 else None
+            out.append(self._decode_one(label_s, label_t, faults, tracer))
+        return out
+
+    def _decode_one(
+        self,
+        label_s: VertexLabel,
+        label_t: VertexLabel,
+        faults: FaultSet | None,
+        tracer: "Tracer | None",
+    ) -> QueryResult:
+        faults = faults or FaultSet()
+        if label_s.vertex == label_t.vertex:
+            # trivial s == t query: replicated from decode_distance,
+            # including the span shape and the forbidden-endpoint error
+            if label_s.vertex in faults.forbidden_vertices():
+                raise QueryError("query endpoint is inside the forbidden set")
+            if tracer is not None:
+                with tracer.span("decode") as root:
+                    root.set("trivial", 1)
+                    root.set("num_faults", len(faults))
+            return QueryResult(
+                distance=0,
+                path=(label_s.vertex,),
+                sketch_vertices=0,
+                sketch_edges=0,
+            )
+        arena = self._arena
+        if (
+            len(arena) > self._max_labels
+            or len(self._fsig_map) > 65536
+            or (
+                len(arena)
+                and (label_s.c, label_s.top_level) != arena.scheme
+            )
+        ):
+            # memory cap hit, or the caller switched label schemes
+            # (legal for a fresh decoder, so mirror it by starting over)
+            arena.reset()
+            self._fsig_map.clear()
+        root = tracer.start("decode") if tracer is not None else None
+        try:
+            fault_labels = faults.all_labels()
+            _check_compatible([label_s, label_t] + fault_labels)
+            frag_s = arena.intern(label_s)
+            frag_t = arena.intern(label_t)
+            fault_v = [arena.intern(label) for label in faults.vertex_labels]
+            fault_e = [
+                (arena.intern(label_a), arena.intern(label_b))
+                for label_a, label_b in faults.edge_labels
+            ]
+            source = [frag_s, frag_t]
+            source.extend(fault_v)
+            for frag_a, frag_b in fault_e:
+                source.append(frag_a)
+                source.append(frag_b)
+            for frag in fault_v:
+                arena.ensure_fault_tables(frag)
+            for frag_a, frag_b in fault_e:
+                arena.ensure_fault_tables(frag_a)
+                arena.ensure_fault_tables(frag_b)
+            fsig = 0
+            if fault_v or fault_e:
+                fsig_map = self._fsig_map
+                key = (
+                    tuple(frag.handle for frag in fault_v),
+                    tuple(
+                        (frag_a.handle, frag_b.handle)
+                        for frag_a, frag_b in fault_e
+                    ),
+                )
+                fsig = fsig_map.get(key, 0)
+                if not fsig:
+                    fsig = len(fsig_map) + 1
+                    fsig_map[key] = fsig
+            return self._engine.run(
+                frag_s,
+                frag_t,
+                source,
+                fault_v,
+                fault_e,
+                len(faults),
+                fsig,
+                tracer,
+                root,
+            )
+        finally:
+            if root is not None:
+                tracer.end(root)

@@ -1,0 +1,176 @@
+"""Dense-integer indexed binary min-heap for the array Dijkstra.
+
+:class:`repro.util.pqueue.IndexedMinHeap` hashes arbitrary items and
+stores ``(key, item)`` tuples; on the decode hot path that means one
+tuple allocation and one dict probe per heap operation.  This heap is
+specialized to the kernel's dense local vertex ids: items are ints in
+``[0, n)``, positions live in a plain list, and keys/items live in two
+parallel lists — no tuples, no hashing, no per-query allocation (the
+buffers are reused across queries via :meth:`DenseMinHeap.reset`).
+
+The comparison semantics are copied from ``IndexedMinHeap`` operation
+for operation (strictly-smaller decrease, ``<=`` sift-up stop, smaller
+*right* child preferred only when strictly smaller), so an identical
+sequence of pushes/decreases/pops produces the identical pop order —
+ties included.  That equivalence is what makes the kernel's
+``nodes_settled`` / ``edges_scanned`` counters bit-identical to the
+legacy decoder's, and it is property-tested against both
+``IndexedMinHeap`` and a reference ``heapq`` implementation in
+``tests/test_kernel_arena.py``.
+"""
+
+from __future__ import annotations
+
+
+class DenseMinHeap:
+    """Indexed binary min-heap over dense int items with decrease-key.
+
+    Example
+    -------
+    >>> h = DenseMinHeap()
+    >>> h.reset(4)
+    >>> h.push(0, 5)
+    >>> h.push(1, 3)
+    >>> h.push_or_decrease(0, 1)
+    True
+    >>> h.pop()
+    (0, 1)
+    >>> h.pop()
+    (1, 3)
+    """
+
+    __slots__ = ("_keys", "_items", "_pos", "_size", "_bound")
+
+    def __init__(self) -> None:
+        self._keys: list[float] = []
+        self._items: list[int] = []
+        self._pos: list[int] = []
+        self._size = 0
+        self._bound = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __contains__(self, item: int) -> bool:
+        return self._pos[item] >= 0
+
+    def reset(self, bound: int) -> None:
+        """Empty the heap and make room for items in ``[0, bound)``.
+
+        Reuses the position buffer; only the first ``bound`` slots are
+        (re)initialized, so a query over a small sketch graph pays for
+        its own size, not for the largest sketch ever seen.
+        """
+        pos = self._pos
+        have = len(pos)
+        for i in range(min(bound, have)):
+            pos[i] = -1
+        if bound > have:
+            pos.extend([-1] * (bound - have))
+        self._size = 0
+        self._bound = bound
+
+    def key(self, item: int) -> float:
+        """Current key of ``item`` (raises ``IndexError`` if absent)."""
+        p = self._pos[item]
+        if p < 0:
+            raise IndexError(f"item {item} not in heap")
+        return self._keys[p]
+
+    def push(self, item: int, key: float) -> None:
+        """Insert a new item; raises ``ValueError`` if already present."""
+        if self._pos[item] >= 0:
+            raise ValueError(f"item {item!r} already in heap")
+        n = self._size
+        if n == len(self._keys):
+            self._keys.append(key)
+            self._items.append(item)
+        else:
+            self._keys[n] = key
+            self._items[n] = item
+        self._pos[item] = n
+        self._size = n + 1
+        self._sift_up(n)
+
+    def push_or_decrease(self, item: int, key: float) -> bool:
+        """Insert ``item`` or lower its key; True if anything changed."""
+        p = self._pos[item]
+        if p < 0:
+            self.push(item, key)
+            return True
+        if key < self._keys[p]:
+            self._keys[p] = key
+            self._sift_up(p)
+            return True
+        return False
+
+    def decrease_key(self, item: int, key: float) -> None:
+        """Lower the key of an existing item."""
+        p = self._pos[item]
+        if p < 0:
+            raise IndexError(f"item {item} not in heap")
+        if key > self._keys[p]:
+            raise ValueError("new key is larger than current key")
+        self._keys[p] = key
+        self._sift_up(p)
+
+    def pop(self) -> tuple[int, float]:
+        """Remove and return ``(item, key)`` with the smallest key."""
+        size = self._size
+        if not size:
+            raise IndexError("pop from empty heap")
+        keys = self._keys
+        items = self._items
+        key = keys[0]
+        item = items[0]
+        size -= 1
+        self._size = size
+        self._pos[item] = -1
+        if size:
+            keys[0] = keys[size]
+            items[0] = items[size]
+            self._pos[items[0]] = 0
+            self._sift_down(0)
+        return item, key
+
+    def _sift_up(self, pos: int) -> None:
+        keys = self._keys
+        items = self._items
+        index = self._pos
+        key = keys[pos]
+        item = items[pos]
+        while pos > 0:
+            parent = (pos - 1) >> 1
+            if keys[parent] <= key:
+                break
+            keys[pos] = keys[parent]
+            items[pos] = items[parent]
+            index[items[pos]] = pos
+            pos = parent
+        keys[pos] = key
+        items[pos] = item
+        index[item] = pos
+
+    def _sift_down(self, pos: int) -> None:
+        keys = self._keys
+        items = self._items
+        index = self._pos
+        key = keys[pos]
+        item = items[pos]
+        size = self._size
+        while True:
+            child = 2 * pos + 1
+            if child >= size:
+                break
+            right = child + 1
+            if right < size and keys[right] < keys[child]:
+                child = right
+            if keys[child] >= key:
+                break
+            keys[pos] = keys[child]
+            items[pos] = items[child]
+            index[items[pos]] = pos
+            pos = child
+        keys[pos] = key
+        items[pos] = item
+        index[item] = pos

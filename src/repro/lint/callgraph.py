@@ -358,7 +358,11 @@ class _FunctionExtractor(ast.NodeVisitor):
                         "what": f"{parts[-2]}.{parts[-1]}",
                     }
                 )
-        if terminal in ALLOC_CALLS:
+        if terminal in ALLOC_CALLS and (
+            dotted == terminal or dotted == f"collections.{terminal}"
+        ):
+            # bare constructors only: a method call spelled ``x.set(...)``
+            # or ``span.add(...)`` does not allocate a container
             self.allocs.append(
                 {
                     "line": node.lineno,

@@ -617,7 +617,11 @@ class HotPathAllocationRule(DeepRule):
     contract = "decode-path performance (array kernel work-list)"
 
     #: (class name or None, function name) pairs that anchor the walk.
-    ENTRY_POINTS = ((None, "decode_distance"), ("Decoder", "decode"))
+    ENTRY_POINTS = (
+        (None, "decode_distance"),
+        ("Decoder", "decode"),
+        ("DecodeEngine", "run"),
+    )
 
     def check(self, program: Program) -> Iterator[Finding]:
         """Report per-query allocations reachable from the decoder."""

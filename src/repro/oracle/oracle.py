@@ -25,6 +25,7 @@ from repro.labeling.decoder import (
     normalize_faults,
 )
 from repro.labeling.encoding import decode_label, encode_label
+from repro.labeling.kernel import KernelDecoder
 from repro.labeling.scheme import ForbiddenSetLabeling
 
 if TYPE_CHECKING:
@@ -38,6 +39,14 @@ class ForbiddenSetDistanceOracle:
     Optional ``obs`` (a :class:`repro.obs.Registry`) and ``tracer``
     hooks record query counts, label decodes and memo hits, and trace
     the decode pipeline.  Both default to off and never change answers.
+
+    ``decoder`` selects the decode engine: ``"kernel"`` (default) runs
+    the array-native kernel of :mod:`repro.labeling.kernel`,
+    ``"legacy"`` the original object-graph decoder.  The two are
+    differential-tested bit-identical, so the choice only affects
+    speed; in kernel mode decoded labels are additionally cached
+    across queries (they are immutable) so the kernel's label
+    interning amortizes.
     """
 
     def __init__(
@@ -47,7 +56,13 @@ class ForbiddenSetDistanceOracle:
         options: LabelingOptions | None = None,
         obs: "Registry | None" = None,
         tracer: "Tracer | None" = None,
+        decoder: str = "kernel",
     ) -> None:
+        if decoder not in ("kernel", "legacy"):
+            raise QueryError(
+                f"unknown decoder backend {decoder!r}"
+                " (expected 'kernel' or 'legacy')"
+            )
         scheme = ForbiddenSetLabeling(graph, epsilon, options=options)
         self._epsilon = epsilon
         self._num_vertices = graph.num_vertices
@@ -57,11 +72,28 @@ class ForbiddenSetDistanceOracle:
         self._table: list[bytes] = [
             encode_label(scheme.label(v)) for v in graph.vertices()
         ]
+        self._kernel = (
+            KernelDecoder(max_labels=max(4096, graph.num_vertices))
+            if decoder == "kernel" else None
+        )
+        # cross-query decoded-label cache (kernel mode only): decoded
+        # labels are immutable, and a stable object identity is what
+        # makes the kernel's arena interning pay off across queries.
+        # Memory is bounded by the n labels the oracle already stores.
+        self._label_cache: dict[int, object] | None = (
+            {} if decoder == "kernel" else None
+        )
 
     def _load(self, vertex: int):
         if not 0 <= vertex < self._num_vertices:
             raise QueryError(f"vertex {vertex} out of range")
-        return decode_label(self._table[vertex])
+        cache = self._label_cache
+        if cache is None:
+            return decode_label(self._table[vertex])
+        label = cache.get(vertex)
+        if label is None:
+            label = cache[vertex] = decode_label(self._table[vertex])
+        return label
 
     def query(
         self,
@@ -97,7 +129,14 @@ class ForbiddenSetDistanceOracle:
             vertex_labels=[load(f) for f in vertex_faults],
             edge_labels=[(load(a), load(b)) for a, b in edge_faults],
         )
-        result = decode_distance(load(s), load(t), faults, tracer=self._tracer)
+        if self._kernel is not None:
+            result = self._kernel.decode(
+                load(s), load(t), faults, tracer=self._tracer
+            )
+        else:
+            result = decode_distance(
+                load(s), load(t), faults, tracer=self._tracer
+            )
         if self._obs is not None:
             self._obs.counter(
                 "repro_oracle_queries_total",

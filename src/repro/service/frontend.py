@@ -45,6 +45,7 @@ from repro.labeling.decoder import (
     normalize_faults,
 )
 from repro.labeling.encoding import DECODE_ERRORS, decode_label
+from repro.labeling.kernel import KernelDecoder
 from repro.service.client import ResilientLabelClient
 from repro.service.clock import VirtualClock
 from repro.service.store import ShardedLabelStore
@@ -201,6 +202,7 @@ class QueryService:
         obs: "Registry | None" = None,
         tracer: "Tracer | None" = None,
         decode_memo_size: int = 512,
+        decoder_backend: str = "kernel",
         **client_kwargs,
     ) -> None:
         if stretch_bound < 1.0:
@@ -208,6 +210,11 @@ class QueryService:
         if decode_memo_size < 0:
             raise QueryError(
                 f"decode memo size must be >= 0, got {decode_memo_size}"
+            )
+        if decoder_backend not in ("kernel", "legacy"):
+            raise QueryError(
+                f"unknown decoder backend {decoder_backend!r}"
+                " (expected 'kernel' or 'legacy')"
             )
         self._store = store
         self.stretch_bound = stretch_bound
@@ -225,6 +232,16 @@ class QueryService:
         self.metrics = ServiceMetrics()
         self._decode_memo_size = decode_memo_size
         self._decode_memo: "OrderedDict[bytes, object]" = OrderedDict()
+        # the array-native kernel answers bit-identically to
+        # decode_distance (differential-tested), so swapping it in is
+        # invisible to every caller — including golden traces.  The
+        # byte-keyed decode memo above gives labels a stable object
+        # identity, which is what makes the kernel's arena interning
+        # effective across queries.
+        self.decoder_backend = decoder_backend
+        self._kernel = (
+            KernelDecoder() if decoder_backend == "kernel" else None
+        )
 
     # -- constructors -------------------------------------------------------
 
@@ -427,9 +444,14 @@ class QueryService:
                 if a in labels and b in labels
             ],
         )
-        result = decode_distance(
-            labels[s], labels[t], available, tracer=self.tracer
-        )
+        if self._kernel is not None:
+            result = self._kernel.decode(
+                labels[s], labels[t], available, tracer=self.tracer
+            )
+        else:
+            result = decode_distance(
+                labels[s], labels[t], available, tracer=self.tracer
+            )
         if not missing:
             return self._record(QueryOutcome(
                 s=s, t=t, status="exact", distance=result.distance,

@@ -18,6 +18,11 @@ fully seeded instances (deterministic — no test flakiness):
 
 Plus the meta-invariant that makes the obs layer trustworthy:
 tracing a decode must never change its answer.
+
+The whole battery runs twice — once per decoder backend (the legacy
+object-graph ``decode_distance`` and the array-native
+:class:`KernelDecoder`) — via the ``decode`` fixture, so every
+metamorphic relation is pinned on both engines.
 """
 
 import math
@@ -29,6 +34,7 @@ from repro.graphs import generators as gen
 from repro.graphs.doubling import doubling_dimension_estimate
 from repro.graphs.traversal import bfs_distances_avoiding
 from repro.labeling import FaultSet, ForbiddenSetLabeling, decode_distance
+from repro.labeling.kernel import KernelDecoder
 from repro.obs.trace import SPAN_DIJKSTRA, Tracer
 
 ENVELOPE_CONSTANT = 24.0
@@ -61,9 +67,30 @@ def fault_chain(n, s, t, rng, length=3, step=2):
     return chain
 
 
-def decode(labels, s, t, faults, tracer=None):
-    fault_set = FaultSet(vertex_labels=[labels[f] for f in faults])
-    return decode_distance(labels[s], labels[t], fault_set, tracer=tracer)
+@pytest.fixture(scope="module", params=["legacy", "kernel"])
+def decode(request):
+    """Backend-parameterized decode helper: one battery, both engines.
+
+    The kernel instance is module-scoped on purpose — its cross-query
+    memo caches stay warm across the battery, so the relations also
+    cover the cached paths.
+    """
+    if request.param == "kernel":
+        kernel = KernelDecoder()
+
+        def _decode(labels, s, t, faults, tracer=None):
+            fault_set = FaultSet(vertex_labels=[labels[f] for f in faults])
+            return kernel.decode(
+                labels[s], labels[t], fault_set, tracer=tracer
+            )
+
+        return _decode
+
+    def _decode(labels, s, t, faults, tracer=None):
+        fault_set = FaultSet(vertex_labels=[labels[f] for f in faults])
+        return decode_distance(labels[s], labels[t], fault_set, tracer=tracer)
+
+    return _decode
 
 
 def dijkstra_ops(tracer: Tracer) -> int:
@@ -78,7 +105,7 @@ def dijkstra_ops(tracer: Tracer) -> int:
 
 
 class TestMonotonicityUnderGrowingFaults:
-    def test_delta_never_decreases(self, instance):
+    def test_delta_never_decreases(self, instance, decode):
         graph, _, _, labels = instance
         n = graph.num_vertices
         rng = random.Random(0xD0)
@@ -95,7 +122,7 @@ class TestMonotonicityUnderGrowingFaults:
 
 
 class TestSandwichAgainstGroundTruth:
-    def test_within_stretch_of_bfs(self, instance):
+    def test_within_stretch_of_bfs(self, instance, decode):
         graph, _, scheme, labels = instance
         n = graph.num_vertices
         bound = scheme.stretch_bound()
@@ -114,7 +141,7 @@ class TestSandwichAgainstGroundTruth:
 
 
 class TestCostEnvelope:
-    def test_traced_ops_within_envelope(self, instance):
+    def test_traced_ops_within_envelope(self, instance, decode):
         graph, epsilon, _, labels = instance
         n = graph.num_vertices
         alpha = doubling_dimension_estimate(graph, seed=0)
@@ -138,7 +165,7 @@ class TestCostEnvelope:
 
 
 class TestTracingIsTransparent:
-    def test_traced_and_untraced_answers_identical(self, instance):
+    def test_traced_and_untraced_answers_identical(self, instance, decode):
         graph, _, _, labels = instance
         n = graph.num_vertices
         rng = random.Random(0xD3)
@@ -152,7 +179,7 @@ class TestTracingIsTransparent:
                 assert plain.sketch_vertices == traced.sketch_vertices
                 assert plain.sketch_edges == traced.sketch_edges
 
-    def test_span_counts_match_result(self, instance):
+    def test_span_counts_match_result(self, instance, decode):
         _, _, _, labels = instance
         tracer = Tracer()
         result = decode(labels, 0, 1, (), tracer=tracer)

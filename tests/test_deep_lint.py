@@ -363,6 +363,19 @@ def test_scenario_package_deep_lints_clean():
     assert {f.rule for f in result.findings} <= {"RPL013"}
 
 
+def test_kernel_package_is_allocation_free_on_the_hot_path():
+    """The array kernel retires its own RPL013 work-list: zero findings.
+
+    ``DecodeEngine.run`` is an RPL013 entry point; everything reachable
+    from it must allocate no per-query dict/set machinery.
+    """
+    result = deep_lint_paths(
+        [ROOT / "src" / "repro" / "labeling" / "kernel"]
+    )
+    rpl013 = [f for f in result.findings if f.rule == "RPL013"]
+    assert rpl013 == [], "\n".join(f.render() for f in rpl013)
+
+
 # -- CLI ---------------------------------------------------------------------
 
 

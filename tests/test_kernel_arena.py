@@ -1,0 +1,219 @@
+"""Unit and property tests for the kernel's data-structure layer.
+
+Four contracts beneath the differential harness:
+
+* **interning idempotence** — re-interning a label is a no-op: same
+  fragment object, same handle, no arena growth; fragment flat arrays
+  faithfully replay the label's (level, edge) scan order.
+* **CSR round-trip** — the engine's cached CSR sketch, re-expanded to
+  an adjacency mapping, equals :func:`build_sketch_graph`'s dict sketch
+  exactly — including per-vertex neighbour order, which downstream
+  Dijkstra tie-breaking depends on.
+* **indexed-heap property** — :class:`DenseMinHeap` replayed against
+  :class:`repro.util.pqueue.IndexedMinHeap` (the decoder's reference
+  heap) on random push/decrease/pop scripts: identical pop sequences,
+  identical decrease-key outcomes.
+* **numpy == stdlib** — both kernel paths produce byte-equal cache
+  entries for the same queries, not merely equal answers.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs import generators as gen
+from repro.labeling import FaultSet, ForbiddenSetLabeling, build_sketch_graph
+from repro.labeling.kernel import (
+    HAVE_NUMPY,
+    DenseMinHeap,
+    KernelDecoder,
+    LabelArena,
+)
+from repro.util.pqueue import IndexedMinHeap
+
+
+@pytest.fixture(scope="module")
+def labeled():
+    graph = gen.road_like_graph(4, 4, seed=3)
+    scheme = ForbiddenSetLabeling(graph, 1.0)
+    labels = [scheme.label(v) for v in graph.vertices()]
+    return graph, labels
+
+
+# -- interning ---------------------------------------------------------------
+
+
+class TestInterning:
+    def test_intern_is_idempotent(self, labeled):
+        _, labels = labeled
+        arena = LabelArena()
+        first = arena.intern(labels[0])
+        again = arena.intern(labels[0])
+        assert again is first
+        assert len(arena) == 1
+        other = arena.intern(labels[1])
+        assert other is not first
+        assert other.handle != first.handle
+        assert len(arena) == 2
+
+    def test_fragment_replays_label_scan_order(self, labeled):
+        _, labels = labeled
+        arena = LabelArena()
+        frag = arena.intern(labels[3])
+        label = labels[3]
+        expected = []
+        for level in sorted(label.levels):
+            level_label = label.levels[level]
+            row = frag.row_of(level)
+            for (x, y), w in level_label.graph_edges.items():
+                expected.append((x, y, w, row))
+            for (x, y), w in level_label.edges.items():
+                expected.append((x, y, w, row))
+        got = list(zip(frag.ex, frag.ey, frag.ew, frag.lvl))
+        assert got == expected
+        assert frag.edges_listed == len(expected)
+        assert frag.num_levels == len(label.levels)
+
+    def test_scheme_mismatch_raises(self, labeled):
+        _, labels = labeled
+        other_scheme = ForbiddenSetLabeling(gen.grid_graph(4, 4), 0.5)
+        other = other_scheme.label(0)
+        arena = LabelArena()
+        arena.intern(labels[0])
+        if (other.c, other.top_level) != (labels[0].c, labels[0].top_level):
+            with pytest.raises(Exception, match="different schemes"):
+                arena.intern(other)
+
+    def test_reset_bumps_generation_and_empties(self, labeled):
+        _, labels = labeled
+        arena = LabelArena()
+        arena.intern(labels[0])
+        generation = arena.generation
+        arena.reset()
+        assert arena.generation == generation + 1
+        assert len(arena) == 0
+
+
+# -- CSR round-trip ----------------------------------------------------------
+
+
+def csr_to_adjacency(vlist, indptr, nbr, wts):
+    """Expand the engine's CSR arrays back into the legacy dict shape."""
+    adjacency = {}
+    for i, x in enumerate(vlist):
+        adjacency[x] = [
+            (vlist[nbr[k]], wts[k]) for k in range(indptr[i], indptr[i + 1])
+        ]
+    return adjacency
+
+
+@pytest.mark.parametrize(
+    "use_numpy", [False] + ([True] if HAVE_NUMPY else [])
+)
+class TestCsrRoundTrip:
+    def test_matches_dict_sketch_graph(self, labeled, use_numpy):
+        _, labels = labeled
+        kern = KernelDecoder(use_numpy=use_numpy)
+        rng = random.Random(0xC5)
+        n = len(labels)
+        for _ in range(25):
+            s, t = rng.sample(range(n), 2)
+            fault_v = rng.sample(
+                [v for v in range(n) if v not in (s, t)], rng.randrange(0, 3)
+            )
+            faults = FaultSet(vertex_labels=[labels[f] for f in fault_v])
+            expected = build_sketch_graph(labels[s], labels[t], faults)
+            engine = kern._engine
+            engine._scache.clear()  # isolate this query's entry
+            kern.decode(labels[s], labels[t], faults)
+            (entry,) = engine._scache.values()
+            vlist, indptr, nbr, wts = entry[0], entry[1], entry[2], entry[3]
+            got = csr_to_adjacency(vlist, indptr, nbr, wts)
+            assert got == expected
+
+
+# -- indexed heap ------------------------------------------------------------
+
+heap_scripts = st.lists(
+    st.tuples(
+        st.sampled_from(["push", "decrease", "pop"]),
+        st.integers(min_value=0, max_value=31),
+        st.integers(min_value=0, max_value=1000),
+    ),
+    max_size=80,
+)
+
+
+@settings(max_examples=120, deadline=None)
+@given(script=heap_scripts)
+def test_dense_heap_matches_indexed_reference(script):
+    dense = DenseMinHeap()
+    dense.reset(32)
+    reference = IndexedMinHeap()
+    for op, item, key in script:
+        if op == "push":
+            if item not in reference:
+                got = dense.push_or_decrease(item, key)
+                reference.push(item, key)
+                assert got is True
+            else:
+                assert dense.push_or_decrease(item, key) == (
+                    key < reference.key(item)
+                )
+                reference.push_or_decrease(item, key)
+        elif op == "decrease":
+            if item in reference and key < reference.key(item):
+                dense.decrease_key(item, key)
+                reference.decrease_key(item, key)
+        else:
+            if len(reference):
+                assert dense.pop() == reference.pop()
+        assert len(dense) == len(reference)
+        if item in reference:
+            assert dense.key(item) == reference.key(item)
+    while len(reference):
+        assert dense.pop() == reference.pop()
+    assert len(dense) == 0
+
+
+def test_dense_heap_pop_order_matches_heapq():
+    import heapq
+
+    rng = random.Random(0x4EA9)
+    for _ in range(20):
+        items = rng.sample(range(64), rng.randrange(1, 33))
+        keys = [rng.randrange(0, 50) for _ in items]
+        dense = DenseMinHeap()
+        dense.reset(64)
+        reference = []
+        for item, key in zip(items, keys):
+            dense.push(item, key)
+            heapq.heappush(reference, key)
+        popped_keys = [dense.pop()[1] for _ in items]
+        assert popped_keys == [heapq.heappop(reference) for _ in items]
+
+
+# -- numpy path == stdlib path, down to the cache entries --------------------
+
+
+@pytest.mark.skipif(not HAVE_NUMPY, reason="numpy not installed")
+def test_numpy_and_stdlib_cache_entries_byte_equal(labeled):
+    _, labels = labeled
+    np_kern = KernelDecoder(use_numpy=True)
+    py_kern = KernelDecoder(use_numpy=False)
+    rng = random.Random(0xB17E)
+    n = len(labels)
+    for _ in range(20):
+        s, t = rng.sample(range(n), 2)
+        fault_v = rng.sample(
+            [v for v in range(n) if v not in (s, t)], rng.randrange(0, 3)
+        )
+        faults = FaultSet(vertex_labels=[labels[f] for f in fault_v])
+        np_result = np_kern.decode(labels[s], labels[t], faults)
+        py_result = py_kern.decode(labels[s], labels[t], faults)
+        assert np_result == py_result
+    np_entries = sorted(np_kern._engine._scache.items())
+    py_entries = sorted(py_kern._engine._scache.items())
+    assert repr(np_entries) == repr(py_entries)

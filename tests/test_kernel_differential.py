@@ -1,0 +1,249 @@
+"""Differential harness: the array kernel IS the legacy decoder, bit for bit.
+
+The kernel (:class:`repro.labeling.kernel.KernelDecoder`) re-implements
+:func:`repro.labeling.decoder.decode_distance` on flat arrays with
+cross-query memo caches.  Nothing about it is allowed to show through:
+for every query the two decoders must agree on
+
+* the distance, the witness path and the sketch sizes,
+* the **entire traced span tree** — names, nesting, and every op-count
+  attribute (``nodes_settled``, ``edges_scanned``, ``heap_updates``,
+  gather/filter/assembly attrs), byte for byte, and
+* every :class:`QueryError` condition (endpoint in ``F``, mixed label
+  schemes), message included.
+
+Hypothesis drives (graph family × ε × seeded fault sets); deterministic
+cases pin the named edge conditions (``F = ∅``, ``s ∈ F`` / ``t ∈ F``,
+disconnected-after-``F``) and the batch API's grouping-order freedom.
+Both kernel paths (pure stdlib and numpy) are exercised.
+
+A long-lived kernel per backend serves the whole run on purpose: the
+equivalence must survive warm memo caches, arena growth and fault-set
+signature reuse, not just a cold first query.
+"""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import QueryError
+from repro.graphs import generators as gen
+from repro.labeling import FaultSet, ForbiddenSetLabeling, decode_distance
+from repro.labeling.kernel import HAVE_NUMPY, KernelDecoder
+from repro.obs.trace import Tracer
+
+# -- instances ---------------------------------------------------------------
+
+#: (name, build) graph families × ε — small enough that labeling every
+#: instance once at module scope keeps the whole harness under a minute.
+INSTANCES = [
+    ("grid:4x4/e1", lambda: gen.grid_graph(4, 4), 1.0),
+    ("grid:4x4/e0.5", lambda: gen.grid_graph(4, 4), 0.5),
+    ("cycle:16/e1", lambda: gen.cycle_graph(16), 1.0),
+    ("road:4x4/e1", lambda: gen.road_like_graph(4, 4, seed=3), 1.0),
+    ("road:4x4/e0.5", lambda: gen.road_like_graph(4, 4, seed=3), 0.5),
+    ("tree:20/e1", lambda: gen.random_tree(20, seed=5), 1.0),
+]
+
+BACKENDS = ["stdlib"] + (["numpy"] if HAVE_NUMPY else [])
+
+_instance_cache: dict[str, tuple] = {}
+_kernel_cache: dict[str, KernelDecoder] = {}
+
+
+def instance(name):
+    """Labels and edge list of a named instance (built once per run)."""
+    entry = _instance_cache.get(name)
+    if entry is None:
+        for iname, build, epsilon in INSTANCES:
+            if iname == name:
+                graph = build()
+                scheme = ForbiddenSetLabeling(graph, epsilon)
+                labels = [scheme.label(v) for v in graph.vertices()]
+                entry = (labels, sorted(graph.edges()))
+                break
+        _instance_cache[name] = entry
+    return entry
+
+
+def kernel_for(backend):
+    """One long-lived kernel per backend — caches deliberately stay warm."""
+    kern = _kernel_cache.get(backend)
+    if kern is None:
+        kern = _kernel_cache[backend] = KernelDecoder(
+            use_numpy=(backend == "numpy")
+        )
+    return kern
+
+
+def assert_equivalent(kern, label_s, label_t, faults):
+    """One query through both decoders; everything observable must match."""
+    legacy_tracer = Tracer()
+    kernel_tracer = Tracer()
+    try:
+        expected = decode_distance(
+            label_s, label_t, faults, tracer=legacy_tracer
+        )
+    except QueryError as exc:
+        with pytest.raises(QueryError) as caught:
+            kern.decode(label_s, label_t, faults, tracer=kernel_tracer)
+        assert str(caught.value) == str(exc)
+        return None
+    got = kern.decode(label_s, label_t, faults, tracer=kernel_tracer)
+    assert got == expected
+    assert kernel_tracer.to_dicts() == legacy_tracer.to_dicts()
+    return expected
+
+
+# -- hypothesis-driven sweep -------------------------------------------------
+
+
+@st.composite
+def query_cases(draw):
+    """(instance name, s, t, vertex faults, edge faults) over all families."""
+    name = draw(st.sampled_from([entry[0] for entry in INSTANCES]))
+    labels, edges = instance(name)
+    n = len(labels)
+    s = draw(st.integers(min_value=0, max_value=n - 1))
+    t = draw(st.integers(min_value=0, max_value=n - 1))
+    # faults may include s or t: QueryError parity is part of the contract
+    fault_v = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=n - 1),
+            max_size=4,
+            unique=True,
+        )
+    )
+    fault_e = draw(st.lists(st.sampled_from(edges), max_size=3, unique=True))
+    return name, s, t, tuple(fault_v), tuple(fault_e)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@settings(max_examples=60, deadline=None)
+@given(case=query_cases())
+def test_kernel_matches_legacy(backend, case):
+    name, s, t, fault_v, fault_e = case
+    labels, _ = instance(name)
+    faults = FaultSet(
+        vertex_labels=[labels[f] for f in fault_v],
+        edge_labels=[(labels[a], labels[b]) for a, b in fault_e],
+    )
+    assert_equivalent(kernel_for(backend), labels[s], labels[t], faults)
+
+
+# -- deterministic edge conditions -------------------------------------------
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_empty_fault_set_and_trivial_queries(backend):
+    labels, _ = instance("grid:4x4/e1")
+    kern = kernel_for(backend)
+    for s, t in [(0, 15), (3, 12), (7, 7), (0, 0)]:
+        assert_equivalent(kern, labels[s], labels[t], FaultSet())
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_endpoint_inside_forbidden_set_raises_identically(backend):
+    labels, _ = instance("cycle:16/e1")
+    kern = kernel_for(backend)
+    s_faults = FaultSet(vertex_labels=[labels[0], labels[5]])
+    t_faults = FaultSet(vertex_labels=[labels[9]])
+    both = FaultSet(vertex_labels=[labels[2]])
+    assert_equivalent(kern, labels[0], labels[9], s_faults)  # s ∈ F
+    assert_equivalent(kern, labels[0], labels[9], t_faults)  # t ∈ F
+    assert_equivalent(kern, labels[2], labels[2], both)  # s == t ∈ F
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_disconnected_after_faults(backend):
+    # cutting both neighbours of a cycle vertex strands it: the decoded
+    # distance must be inf (with an empty path) from both decoders
+    labels, _ = instance("cycle:16/e1")
+    kern = kernel_for(backend)
+    faults = FaultSet(vertex_labels=[labels[1], labels[15]])
+    result = assert_equivalent(kern, labels[0], labels[8], faults)
+    assert math.isinf(result.distance)
+    assert result.path == ()
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_mixed_scheme_labels_raise_identically(backend):
+    labels, _ = instance("grid:4x4/e1")
+    other_labels, _ = instance("grid:4x4/e0.5")
+    kern = kernel_for(backend)
+    assert_equivalent(kern, labels[0], other_labels[5], FaultSet())
+
+
+# -- batch API: grouping order never changes an answer -----------------------
+
+
+def _workload(labels, edges, seed, count=40):
+    rng = random.Random(seed)
+    n = len(labels)
+    queries = []
+    for _ in range(count):
+        s, t = rng.sample(range(n), 2)
+        fault_v = rng.sample(
+            [v for v in range(n) if v not in (s, t)], rng.randrange(0, 3)
+        )
+        fault_e = rng.sample(edges, rng.randrange(0, 2))
+        queries.append(
+            (
+                labels[s],
+                labels[t],
+                FaultSet(
+                    vertex_labels=[labels[f] for f in fault_v],
+                    edge_labels=[(labels[a], labels[b]) for a, b in fault_e],
+                ),
+            )
+        )
+    return queries
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("order_seed", [0, 1, 2])
+def test_batch_matches_sequential_in_any_order(backend, order_seed):
+    labels, edges = instance("road:4x4/e1")
+    queries = _workload(labels, edges, seed=11)
+    rng = random.Random(order_seed)
+    rng.shuffle(queries)  # grouping opportunities differ per order
+    batch_kern = KernelDecoder(use_numpy=(backend == "numpy"))
+    seq_kern = KernelDecoder(use_numpy=(backend == "numpy"))
+    batch = batch_kern.decode_batch(queries)
+    sequential = [seq_kern.decode(ls, lt, faults) for ls, lt, faults in queries]
+    legacy = [decode_distance(ls, lt, faults) for ls, lt, faults in queries]
+    assert batch == sequential == legacy
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_batch_traces_match_a_decode_loop(backend):
+    labels, edges = instance("grid:4x4/e1")
+    queries = _workload(labels, edges, seed=13, count=12)
+    batch_kern = KernelDecoder(use_numpy=(backend == "numpy"))
+    loop_kern = KernelDecoder(use_numpy=(backend == "numpy"))
+    batch_tracer = Tracer()
+    loop_tracer = Tracer()
+    batch_kern.decode_batch(queries, tracer=batch_tracer)
+    for ls, lt, faults in queries:
+        loop_kern.decode(ls, lt, faults, tracer=loop_tracer)
+    assert batch_tracer.to_dicts() == loop_tracer.to_dicts()
+
+
+# -- numpy path == stdlib path ----------------------------------------------
+
+
+@pytest.mark.skipif(not HAVE_NUMPY, reason="numpy not installed")
+def test_numpy_and_stdlib_paths_agree():
+    labels, edges = instance("road:4x4/e0.5")
+    queries = _workload(labels, edges, seed=17)
+    np_kern = KernelDecoder(use_numpy=True)
+    py_kern = KernelDecoder(use_numpy=False)
+    np_tracer = Tracer()
+    py_tracer = Tracer()
+    np_results = np_kern.decode_batch(queries, tracer=np_tracer)
+    py_results = py_kern.decode_batch(queries, tracer=py_tracer)
+    assert np_results == py_results
+    assert np_tracer.to_dicts() == py_tracer.to_dicts()
